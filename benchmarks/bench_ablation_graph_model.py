@@ -1,0 +1,88 @@
+"""Ablation: which parts of the graph model matter (design-choice study).
+
+DESIGN.md calls out three modelling choices behind GLADIATOR's tables: the
+FP/FN cost-asymmetry threshold, the second-order non-leakage mechanisms, and
+the neighbour-leakage mechanism that keeps dense codes from over-triggering.
+This benchmark sweeps those knobs on the d=7 surface code and reports the
+resulting LRC / FP / FN operating points, reproducing the trade-off curve the
+threshold moves along.
+"""
+
+from _common import current_scale, emit, format_table, run_once, save
+
+from repro.core import GraphModelConfig, make_policy
+from repro.experiments import make_code
+from repro.noise import paper_noise
+from repro.sim import LeakageSimulator, SimulatorOptions
+
+CONFIGS = {
+    "default (th=0.2)": GraphModelConfig(),
+    "threshold 0.5": GraphModelConfig(threshold=0.5),
+    "threshold 0.1": GraphModelConfig(threshold=0.1),
+    "no second order": GraphModelConfig(include_second_order=False),
+    "no neighbor leakage": GraphModelConfig(include_neighbor_leakage=False),
+    "no prior completion": GraphModelConfig(include_prior_round_completion=False),
+}
+
+
+def test_ablation_graph_model_choices(benchmark):
+    scale = current_scale()
+    shots = scale.shots(200)
+    rounds = scale.rounds(60)
+    code = make_code("surface", 7)
+    noise = paper_noise()
+
+    def workload():
+        rows = []
+        for label, config in CONFIGS.items():
+            policy = make_policy("gladiator+m", config=config)
+            simulator = LeakageSimulator(
+                code,
+                noise,
+                policy,
+                options=SimulatorOptions(leakage_sampling=True),
+                seed=77,
+            )
+            summary = simulator.run(shots=shots, rounds=rounds).summary()
+            summary["config"] = label
+            rows.append(summary)
+        eraser = LeakageSimulator(
+            code,
+            noise,
+            make_policy("eraser+m"),
+            options=SimulatorOptions(leakage_sampling=True),
+            seed=77,
+        ).run(shots=shots, rounds=rounds).summary()
+        eraser["config"] = "eraser+M (reference)"
+        rows.append(eraser)
+        return rows
+
+    rows = run_once(benchmark, workload)
+    table_rows = [
+        {
+            "configuration": row["config"],
+            "LRC/round": row["lrcs_per_round"],
+            "FP/round": row["fp_per_round"],
+            "FN/round": row["fn_per_round"],
+            "mean DLP": row["mean_dlp"],
+        }
+        for row in rows
+    ]
+    emit("Ablation: graph-model design choices (surface d=7)", format_table(table_rows))
+    save("ablation_graph_model", {"shots": shots, "rounds": rounds}, table_rows)
+
+    by_config = {row["config"]: row for row in rows}
+    # Raising the threshold trades FPs for FNs and vice versa.
+    assert (
+        by_config["threshold 0.5"]["fp_per_round"]
+        <= by_config["default (th=0.2)"]["fp_per_round"]
+        <= by_config["threshold 0.1"]["fp_per_round"] + 1e-9
+    )
+    assert (
+        by_config["threshold 0.1"]["fn_per_round"]
+        <= by_config["default (th=0.2)"]["fn_per_round"]
+        <= by_config["threshold 0.5"]["fn_per_round"] + 1e-9
+    )
+    # Every ablated variant still beats the ERASER reference on FPs.
+    for label in CONFIGS:
+        assert by_config[label]["fp_per_round"] < by_config["eraser+M (reference)"]["fp_per_round"]

@@ -1,0 +1,72 @@
+"""Figure 8: leakage-pattern classification on the colour code.
+
+The paper compares how many of the 3-bit colour-code patterns (and of the
+two-round pattern pairs) each policy flags: ERASER marks 4/8 single-round
+patterns, GLADIATOR slightly fewer, and the deferred GLADIATOR-D flags a far
+smaller fraction of the 64 two-round pairs than ERASER's two-round
+equivalent (both rounds >= 50% flipped).
+"""
+
+from _common import emit, format_table, run_once, save
+
+from repro.core import (
+    EraserPolicy,
+    GladiatorDPolicy,
+    GladiatorPolicy,
+    eraser_flags_pattern,
+)
+from repro.experiments import make_code
+from repro.noise import paper_noise
+
+
+def test_fig08_color_pattern_classification(benchmark):
+    code = make_code("color", 7)
+    noise = paper_noise()
+
+    def workload():
+        eraser = EraserPolicy()
+        eraser.prepare(code, noise)
+        gladiator = GladiatorPolicy()
+        gladiator.prepare(code, noise)
+        deferred = GladiatorDPolicy()
+        deferred.prepare(code, noise)
+        interior = next(q for q in range(code.num_data) if code.pattern_width(q) == 3)
+        return {
+            "eraser": eraser.flag_table(interior),
+            "gladiator": gladiator.flag_table(interior),
+            "gladiator-d": deferred.flag_table(interior),
+        }
+
+    tables = run_once(benchmark, workload)
+    eraser_two_round = sum(
+        1
+        for prev in range(8)
+        for cur in range(8)
+        if eraser_flags_pattern(prev, 3) and eraser_flags_pattern(cur, 3)
+    )
+    rows = [
+        {
+            "policy": "eraser",
+            "3-bit patterns flagged": int(tables["eraser"].sum()),
+            "two-round pairs flagged": eraser_two_round,
+        },
+        {
+            "policy": "gladiator",
+            "3-bit patterns flagged": int(tables["gladiator"].sum()),
+            "two-round pairs flagged": "-",
+        },
+        {
+            "policy": "gladiator-d",
+            "3-bit patterns flagged": "-",
+            "two-round pairs flagged": int(tables["gladiator-d"].sum()),
+        },
+    ]
+    emit("Figure 8: colour-code pattern classification (interior qubits)", format_table(rows))
+    save("fig08_color_patterns", {"distance": 7}, rows)
+
+    assert int(tables["eraser"].sum()) == 4  # the paper's 4/8
+    assert int(tables["gladiator"].sum()) < 4
+    # The deferred table flags a minority of the two-round space (the paper
+    # reports 11/64 vs ERASER's 16/64; our richer error enumeration lands in
+    # the same ballpark but not on the identical count, see EXPERIMENTS.md).
+    assert 0 < int(tables["gladiator-d"].sum()) < 32

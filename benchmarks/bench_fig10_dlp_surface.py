@@ -1,0 +1,64 @@
+"""Figure 10: data-leakage population over long surface-code runs.
+
+The paper tracks the leaked-data-qubit fraction over 100d rounds for
+d = 7 and 11 and leakage ratios 0.1 and 1, comparing ERASER+M, GLADIATOR+M,
+GLADIATOR-D+M and the IDEAL oracle.  The quick configuration uses d = 7 with
+a reduced round count; ``REPRO_SCALE=paper`` extends the sweep.
+"""
+
+from _common import current_scale, emit, format_series, run_once, save
+
+from repro.experiments import compare_policies, make_code
+from repro.noise import paper_noise
+
+POLICIES = ("eraser+m", "gladiator+m", "gladiator-d+m", "ideal")
+
+
+def test_fig10_dlp_long_runs(benchmark):
+    scale = current_scale()
+    distance = 7 if scale.name != "paper" else 11
+    shots = scale.shots(200)
+    rounds = scale.rounds(150)
+    code = make_code("surface", distance)
+
+    def workload():
+        results = {}
+        for leakage_ratio in (0.1, 1.0):
+            noise = paper_noise(p=1e-3, leakage_ratio=leakage_ratio)
+            results[leakage_ratio] = compare_policies(
+                code, noise, list(POLICIES), shots=shots, rounds=rounds, seed=10
+            )
+        return results
+
+    results = run_once(benchmark, workload)
+
+    all_rows = []
+    for leakage_ratio, rows in results.items():
+        sample_points = list(range(0, rounds, max(1, rounds // 12)))
+        series = {
+            row["policy"]: [float(row["dlp_per_round"][r]) for r in sample_points]
+            for row in rows
+        }
+        emit(
+            f"Figure 10: data leakage population (surface d={distance}, lr={leakage_ratio})",
+            format_series(sample_points, series, x_label="round"),
+        )
+        for row in rows:
+            all_rows.append(
+                {
+                    "lr": leakage_ratio,
+                    "policy": row["policy"],
+                    "mean_dlp": row["mean_dlp"],
+                    "final_dlp": row["final_dlp"],
+                }
+            )
+    save("fig10_dlp_surface", {"distance": distance, "rounds": rounds, "shots": shots}, all_rows)
+
+    for leakage_ratio, rows in results.items():
+        by_policy = {row["policy"]: row for row in rows}
+        # The oracle bounds every speculative policy from below.
+        for name in ("eraser+M", "gladiator+M", "gladiator-d+M"):
+            assert by_policy["ideal+M"]["mean_dlp"] <= by_policy[name]["mean_dlp"]
+        # Leakage stays bounded (no runaway growth) for every mitigated policy.
+        for name in ("eraser+M", "gladiator+M", "gladiator-d+M"):
+            assert by_policy[name]["final_dlp"] < 0.1

@@ -1,0 +1,81 @@
+"""Figure 12: logical error rate vs code distance.
+
+Decoded memory experiments for increasing surface-code distance under the
+paper's noise profile, comparing Always-LRC, ERASER+M, GLADIATOR+M and the
+NO-LRC reference whose LER *grows* with distance because unmitigated leakage
+accumulates.  Also reports the error-suppression factor Lambda.
+"""
+
+from _common import current_scale, emit, format_table, run_once, save
+
+from repro.experiments import (
+    average_suppression_factor,
+    compare_policies_decoded,
+    make_code,
+)
+from repro.noise import paper_noise
+
+POLICIES = ("no-lrc", "always-lrc", "eraser+m", "gladiator+m")
+
+
+def test_fig12_ler_vs_distance(benchmark):
+    scale = current_scale()
+    distances = [3, 5] if scale.name != "paper" else [3, 5, 7]
+    shots = scale.decoded_shots(400)
+    noise = paper_noise(p=1e-3, leakage_ratio=1.0)
+
+    def workload():
+        rows = []
+        for distance in distances:
+            code = make_code("surface", distance)
+            for row in compare_policies_decoded(
+                code,
+                noise,
+                list(POLICIES),
+                shots=shots,
+                rounds=4 * distance,
+                seed=12,
+            ):
+                row["distance"] = distance
+                rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, workload)
+    table_rows = [
+        {
+            "d": row["distance"],
+            "policy": row["policy"],
+            "LER": row["ler"],
+            "LER/round": row["ler_per_round"],
+            "mean DLP": row["mean_dlp"],
+        }
+        for row in rows
+    ]
+    emit("Figure 12: logical error rate vs code distance", format_table(table_rows))
+
+    lambda_rows = []
+    for policy in ("eraser+M", "gladiator+M", "no-lrc"):
+        lers = {
+            row["distance"]: max(row["ler_per_round"], 1e-6)
+            for row in rows
+            if row["policy"] == policy
+        }
+        lambda_rows.append(
+            {"policy": policy, "Lambda (per-round)": average_suppression_factor(lers)}
+        )
+    emit("Figure 12: error-suppression factor", format_table(lambda_rows))
+    save("fig12_ler_scaling", {"shots": shots, "p": 1e-3, "lr": 1.0}, table_rows + lambda_rows)
+
+    # Shape: with mitigation, larger distance suppresses the per-round LER;
+    # without any LRC the leakage population at the larger distance is worse.
+    for policy in ("eraser+M", "gladiator+M"):
+        per_round = {
+            row["distance"]: row["ler_per_round"] for row in rows if row["policy"] == policy
+        }
+        assert per_round[distances[-1]] <= per_round[distances[0]] + 0.02
+    no_lrc_dlp = {row["distance"]: row["mean_dlp"] for row in rows if row["policy"] == "no-lrc"}
+    mitigated_dlp = {
+        row["distance"]: row["mean_dlp"] for row in rows if row["policy"] == "gladiator+M"
+    }
+    for distance in distances:
+        assert mitigated_dlp[distance] < no_lrc_dlp[distance]

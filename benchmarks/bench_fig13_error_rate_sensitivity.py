@@ -1,0 +1,67 @@
+"""Figure 13: sensitivity to the physical error rate (p = 1e-3 vs 1e-4).
+
+As the operational error rate drops, both the logical error rate and the
+number of LRCs per shot fall; GLADIATOR adapts its speculation to the lower
+leakage rate and keeps its LRC advantage over ERASER at both operating
+points (the paper's Table 4 "speculation inaccuracy" companion numbers are
+reproduced by bench_table4).
+"""
+
+from _common import current_scale, emit, format_table, run_once, save
+
+from repro.experiments import compare_policies, compare_policies_decoded, make_code
+from repro.noise import paper_noise
+
+POLICIES = ("eraser+m", "gladiator+m", "gladiator-d+m")
+
+
+def test_fig13_error_rate_sensitivity(benchmark):
+    scale = current_scale()
+    shots = scale.shots(300)
+    decoded_shots = scale.decoded_shots(300)
+    code = make_code("surface", 5)
+
+    def workload():
+        undecoded = {}
+        decoded = {}
+        for p in (1e-3, 1e-4):
+            noise = paper_noise(p=p, leakage_ratio=0.1)
+            undecoded[p] = compare_policies(
+                code, noise, list(POLICIES), shots=shots, rounds=scale.rounds(60), seed=13
+            )
+            decoded[p] = compare_policies_decoded(
+                code, noise, ["eraser+m", "gladiator+m"], shots=decoded_shots, rounds=15, seed=13
+            )
+        return undecoded, decoded
+
+    undecoded, decoded = run_once(benchmark, workload)
+
+    table_rows = []
+    for p, rows in undecoded.items():
+        for row in rows:
+            table_rows.append(
+                {
+                    "p": p,
+                    "policy": row["policy"],
+                    "LRC/round": row["lrcs_per_round"],
+                    "FP/round": row["fp_per_round"],
+                    "FN/round": row["fn_per_round"],
+                }
+            )
+    emit("Figure 13(b): LRC usage vs physical error rate (surface d=5)", format_table(table_rows))
+
+    ler_rows = []
+    for p, rows in decoded.items():
+        for row in rows:
+            ler_rows.append({"p": p, "policy": row["policy"], "LER": row["ler"]})
+    emit("Figure 13(a): logical error rate vs physical error rate", format_table(ler_rows))
+    save("fig13_error_rate_sensitivity", {"distance": 5}, table_rows + ler_rows)
+
+    for p in (1e-3, 1e-4):
+        by_policy = {row["policy"]: row for row in undecoded[p]}
+        assert by_policy["gladiator+M"]["lrcs_per_round"] < by_policy["eraser+M"]["lrcs_per_round"]
+    # Lower physical error rate means fewer LRCs for every policy.
+    for policy in ("eraser+M", "gladiator+M"):
+        high = next(r for r in undecoded[1e-3] if r["policy"] == policy)
+        low = next(r for r in undecoded[1e-4] if r["policy"] == policy)
+        assert low["lrcs_per_round"] < high["lrcs_per_round"]

@@ -1,0 +1,68 @@
+"""Figure 14: total leakage events and total LRCs vs code distance.
+
+Even under good mitigation the absolute number of leakage events grows with
+distance (quadratically more qubits and gates per round), and so does the
+total LRC count; the gap between ERASER+M and GLADIATOR+M widens with
+distance, which is the paper's scalability argument.
+"""
+
+from _common import current_scale, emit, format_table, run_once, save
+
+from repro.experiments import compare_policies, make_code
+from repro.noise import paper_noise
+
+POLICIES = ("eraser+m", "gladiator+m", "ideal")
+
+
+def test_fig14_distance_sensitivity(benchmark):
+    scale = current_scale()
+    distances = [5, 7, 9] if scale.name != "paper" else [7, 11, 13, 17]
+    shots = scale.shots(150)
+    noise = paper_noise(p=1e-3, leakage_ratio=0.1)
+
+    def workload():
+        rows = []
+        for distance in distances:
+            code = make_code("surface", distance)
+            rounds = scale.rounds(10 * distance)
+            for row in compare_policies(
+                code, noise, list(POLICIES), shots=shots, rounds=rounds, seed=14
+            ):
+                row["distance"] = distance
+                row["rounds"] = rounds
+                row["total_lrcs"] = row["lrcs_per_round"] * rounds
+                row["leakage_events_per_shot"] = row["total_leakage_events"] / shots
+                rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, workload)
+    table_rows = [
+        {
+            "d": row["distance"],
+            "policy": row["policy"],
+            "total leakages/shot": row["leakage_events_per_shot"],
+            "total LRCs/shot": row["total_lrcs"],
+        }
+        for row in rows
+    ]
+    emit("Figure 14: total leakages and LRC usage vs distance", format_table(table_rows))
+    save("fig14_distance_sensitivity", {"shots": shots}, table_rows)
+
+    # Total leakage events grow with distance for every policy (more qubits
+    # and gates per round), and GLADIATOR uses fewer LRCs than ERASER at
+    # every distance, with the absolute gap widening.
+    gaps = []
+    for distance in distances:
+        by_policy = {row["policy"]: row for row in rows if row["distance"] == distance}
+        assert by_policy["gladiator+M"]["total_lrcs"] < by_policy["eraser+M"]["total_lrcs"]
+        gaps.append(
+            by_policy["eraser+M"]["total_lrcs"] - by_policy["gladiator+M"]["total_lrcs"]
+        )
+    assert gaps[-1] > gaps[0]
+    for policy in ("eraser+M", "gladiator+M", "ideal+M"):
+        events = [
+            row["leakage_events_per_shot"]
+            for row in rows
+            if row["policy"] == policy
+        ]
+        assert events[-1] > events[0]

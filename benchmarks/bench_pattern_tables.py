@@ -1,0 +1,86 @@
+"""Pattern-classification tables (Sections 4.1-4.3, 5.2 and Appendix B).
+
+Summarises, for every code family, how many syndrome patterns each policy
+flags as leakage-critical, alongside the minimised Boolean expression that
+the hardware sequence checker would implement.  These are the offline
+artefacts of GLADIATOR (no simulation involved), so this benchmark also
+measures how long the offline stage takes.
+"""
+
+from _common import emit, format_table, run_once, save
+
+from repro.core import (
+    EraserPolicy,
+    GladiatorDPolicy,
+    GladiatorPolicy,
+    expression_to_string,
+    quine_mccluskey,
+)
+from repro.experiments import make_code
+from repro.noise import paper_noise
+
+FAMILIES = (("surface", 7), ("color", 7), ("hgp", None), ("bpc", None))
+
+
+def test_pattern_classification_tables(benchmark):
+    noise = paper_noise()
+
+    def workload():
+        rows = []
+        expressions = []
+        for family, distance in FAMILIES:
+            code = make_code(family, distance)
+            eraser = EraserPolicy()
+            eraser.prepare(code, noise)
+            gladiator = GladiatorPolicy()
+            gladiator.prepare(code, noise)
+            widest = max(code.pattern_widths)
+            qubit = next(q for q in range(code.num_data) if code.pattern_width(q) == widest)
+            eraser_count = int(eraser.flag_table(qubit).sum())
+            gladiator_count = int(gladiator.flag_table(qubit).sum())
+            # The deferred two-round tables grow as 4**width; enumerate them
+            # only for the narrow-pattern codes (surface, colour), as the
+            # paper does.
+            if widest <= 6:
+                deferred = GladiatorDPolicy()
+                deferred.prepare(code, noise)
+                deferred_count = f"{int(deferred.flag_table(qubit).sum())}/{1 << (2 * widest)}"
+            else:
+                deferred_count = "-"
+            rows.append(
+                {
+                    "code": code.name,
+                    "pattern width": widest,
+                    "eraser flags": f"{eraser_count}/{1 << widest}",
+                    "gladiator flags": f"{gladiator_count}/{1 << widest}",
+                    "gladiator-d flags": deferred_count,
+                }
+            )
+            if widest <= 6:
+                table = gladiator.flag_table(qubit)
+                minterms = {v for v in range(table.shape[0]) if table[v]}
+                implicants = quine_mccluskey(minterms, widest)
+                expressions.append(
+                    {
+                        "code": code.name,
+                        "minimised GLADIATOR expression": expression_to_string(
+                            implicants, widest
+                        ),
+                    }
+                )
+        return rows, expressions
+
+    rows, expressions = run_once(benchmark, workload)
+    emit("Pattern classification summary (widest qubits per code)", format_table(rows))
+    emit("Appendix B style minimised expressions", format_table(expressions))
+    save("pattern_tables", {}, rows + expressions)
+
+    by_code = {row["code"].split("_")[0]: row for row in rows}
+    # ERASER's fixed 50% rule flags 11/16 surface and 4/8 colour patterns.
+    assert by_code["surface"]["eraser flags"] == "11/16"
+    assert by_code["color"]["eraser flags"] == "4/8"
+    # GLADIATOR flags strictly fewer single-round patterns on those codes.
+    for family in ("surface", "color"):
+        gladiator_count = int(by_code[family]["gladiator flags"].split("/")[0])
+        eraser_count = int(by_code[family]["eraser flags"].split("/")[0])
+        assert gladiator_count < eraser_count

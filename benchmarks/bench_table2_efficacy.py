@@ -1,0 +1,58 @@
+"""Table 2: leakage-detection efficacy of ERASER and the baselines.
+
+Reports false negatives, false positives, LRC usage and the data-leakage
+population after short (70-round) and long (210-round) runs for Always-LRC,
+ERASER, ERASER+M, MLR-only, Staggered Always-LRC and GLADIATOR+M — the same
+policy line-up as the paper's Table 2 (its "Ours" column).
+"""
+
+from _common import current_scale, emit, format_table, run_once, save
+
+from repro.experiments import compare_policies, leakage_equilibrium, make_code
+from repro.noise import paper_noise
+
+POLICIES = ("always-lrc", "eraser", "eraser+m", "mlr-only", "staggered", "gladiator+m")
+
+
+def test_table2_detection_efficacy(benchmark):
+    scale = current_scale()
+    shots = scale.shots(250)
+    short_rounds = scale.rounds(70)
+    long_rounds = scale.rounds(210)
+    code = make_code("surface", 7)
+    noise = paper_noise(p=1e-3, leakage_ratio=0.1)
+
+    def workload():
+        short = compare_policies(
+            code, noise, list(POLICIES), shots=shots, rounds=short_rounds, seed=2
+        )
+        long = compare_policies(
+            code, noise, list(POLICIES), shots=max(50, shots // 2), rounds=long_rounds, seed=2
+        )
+        return short, long
+
+    short, long = run_once(benchmark, workload)
+    rows = []
+    for short_row, long_row in zip(short, long):
+        rows.append(
+            {
+                "policy": short_row["policy"],
+                "FN/round": short_row["fn_per_round"],
+                "FP/round": short_row["fp_per_round"],
+                "LRC/round": short_row["lrcs_per_round"],
+                "Leak-short (1e-3)": 1e3 * leakage_equilibrium(short_row["dlp_per_round"]),
+                "Leak-long (1e-3)": 1e3 * leakage_equilibrium(long_row["dlp_per_round"]),
+            }
+        )
+    emit("Table 2: leakage-detection efficacy (surface d=7)", format_table(rows))
+    save("table2_efficacy", {"shots": shots, "rounds": [short_rounds, long_rounds]}, rows)
+
+    by_policy = {row["policy"]: row for row in rows}
+    # Qualitative Table 2 structure:
+    #  * Always-LRC has no false negatives but the largest LRC bill,
+    #  * MLR-only misses the most leakage (highest FN of the detectors),
+    #  * GLADIATOR uses fewer LRCs than ERASER.
+    assert by_policy["always-lrc"]["FN/round"] == 0
+    assert by_policy["always-lrc"]["LRC/round"] > 10 * by_policy["eraser+M"]["LRC/round"]
+    assert by_policy["mlr-only+M"]["FN/round"] >= by_policy["eraser+M"]["FN/round"]
+    assert by_policy["gladiator+M"]["LRC/round"] < by_policy["eraser+M"]["LRC/round"]

@@ -1,0 +1,32 @@
+"""Benchmark-suite configuration.
+
+Makes the in-tree package and the shared benchmark helpers importable, and
+prints every reproduced table/figure in the terminal summary so the rows
+appear in the benchmark log (pytest captures per-test stdout otherwise).
+"""
+
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for path in (str(_SRC), str(_HERE)):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Replay the reproduced tables after the benchmark timing report."""
+    try:
+        import _common
+    except ImportError:  # pragma: no cover - defensive
+        return
+    if not _common.EMITTED:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep("=", "reproduced tables and figure series")
+    for title, text in _common.EMITTED:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(_common.banner(title))
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

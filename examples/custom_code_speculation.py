@@ -1,0 +1,81 @@
+"""Bring-your-own code: GLADIATOR on a user-defined CSS code.
+
+GLADIATOR's offline stage only needs the stabilizer structure of the code
+and calibrated error rates, so it extends to codes the authors never
+hard-coded.  This example builds a hypergraph-product code from two copies
+of a classical Hamming code, inspects the per-qubit pattern tables the graph
+model produces, prints the minimised Boolean expression the hardware
+sequence checker would implement, and runs a short leakage simulation.
+
+Run with::
+
+    python examples/custom_code_speculation.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import make_policy, paper_noise
+from repro.codes import hgp_code_from_checks
+from repro.codes.classical import hamming_parity_check
+from repro.core import GladiatorPolicy, expression_to_string, quine_mccluskey
+from repro.io import format_table
+from repro.sim import LeakageSimulator, SimulatorOptions
+
+
+def main() -> None:
+    hamming = hamming_parity_check()
+    code = hgp_code_from_checks(hamming, hamming, name="hgp_hamming7")
+    noise = paper_noise()
+    print(code.describe())
+
+    # Offline stage: build the pattern tables and show one of them.
+    gladiator = GladiatorPolicy()
+    gladiator.prepare(code, noise)
+    widths = sorted(set(code.pattern_widths))
+    rows = []
+    for width in widths:
+        qubit = next(q for q in range(code.num_data) if code.pattern_width(q) == width)
+        table = gladiator.flag_table(qubit)
+        rows.append(
+            {
+                "pattern width": width,
+                "patterns flagged": f"{int(table.sum())}/{table.shape[0]}",
+            }
+        )
+    print(format_table(rows, title="GLADIATOR pattern tables for the HGP code"))
+
+    narrow_qubit = next(q for q in range(code.num_data) if code.pattern_width(q) == min(widths))
+    table = gladiator.flag_table(narrow_qubit)
+    minterms = {value for value in range(table.shape[0]) if table[value]}
+    implicants = quine_mccluskey(minterms, min(widths))
+    print("\nSequence-checker expression for the narrowest qubits:")
+    print("  " + expression_to_string(implicants, min(widths)))
+
+    # Online stage: run the speculative mitigation against ERASER.
+    comparison = []
+    for policy_name in ("eraser+m", "gladiator+m"):
+        simulator = LeakageSimulator(
+            code=code,
+            noise=noise,
+            policy=make_policy(policy_name),
+            options=SimulatorOptions(leakage_sampling=True),
+            seed=3,
+        )
+        summary = simulator.run(shots=300, rounds=40).summary()
+        comparison.append(
+            {
+                "policy": summary["policy"],
+                "LRCs/round": summary["lrcs_per_round"],
+                "false positives/round": summary["fp_per_round"],
+                "mean leakage population": summary["mean_dlp"],
+            }
+        )
+    print()
+    print(format_table(comparison, title="Speculative mitigation on the HGP code"))
+
+
+if __name__ == "__main__":
+    main()

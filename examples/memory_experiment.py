@@ -1,0 +1,58 @@
+"""Decoded memory experiment: logical error rate with and without mitigation.
+
+Runs memory-Z experiments on the distance-3 and distance-5 surface codes
+under a leakage-heavy noise profile, decodes them with the matching decoder,
+and reports how unmitigated leakage inflates the logical error rate while
+speculative LRC insertion keeps it in check.
+
+Run with::
+
+    python examples/memory_experiment.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import MemoryExperiment, make_policy, paper_noise, surface_code
+from repro.io import format_table
+
+
+def main() -> None:
+    noise = paper_noise(p=1.5e-3, leakage_ratio=1.0)
+    rows = []
+    for distance in (3, 5):
+        code = surface_code(distance)
+        for policy_name in ("no-lrc", "always-lrc", "gladiator+m"):
+            experiment = MemoryExperiment(
+                code=code,
+                noise=noise,
+                policy=make_policy(policy_name),
+                decoder_method="matching",
+                seed=11,
+            )
+            result = experiment.run(shots=400, rounds=4 * distance)
+            low, high = result.logical_error_rate_interval
+            rows.append(
+                {
+                    "distance": distance,
+                    "policy": result.policy_name,
+                    "logical error rate": result.logical_error_rate,
+                    "95% interval": f"[{low:.3f}, {high:.3f}]",
+                    "LRCs/round": result.lrcs_per_round,
+                    "mean leakage population": result.mean_dlp,
+                }
+            )
+    print(format_table(rows, title="Memory-Z experiments under leakage (p=1.5e-3, lr=1)"))
+    print()
+    print(
+        "Without any leakage reduction the leakage population builds up and the"
+        " decoder's job gets harder; closed-loop speculation keeps the"
+        " population near its injection floor at a tiny fraction of the LRCs"
+        " an open-loop policy spends."
+    )
+
+
+if __name__ == "__main__":
+    main()

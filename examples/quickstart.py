@@ -1,0 +1,59 @@
+"""Quickstart: speculative leakage mitigation on a distance-5 surface code.
+
+Builds the rotated surface code, attaches the GLADIATOR+M speculator, runs a
+short leakage-aware memory simulation and prints the headline metrics next
+to the ERASER+M baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import make_policy, paper_noise, surface_code
+from repro.io import format_table
+from repro.sim import LeakageSimulator, SimulatorOptions
+
+
+def main() -> None:
+    code = surface_code(5)
+    noise = paper_noise(p=1e-3, leakage_ratio=0.1)
+    print(code.describe())
+    print(f"noise: {noise.describe()}")
+    print()
+
+    rows = []
+    for policy_name in ("eraser+m", "gladiator+m", "gladiator-d+m", "ideal"):
+        policy = make_policy(policy_name)
+        simulator = LeakageSimulator(
+            code=code,
+            noise=noise,
+            policy=policy,
+            options=SimulatorOptions(leakage_sampling=True),
+            seed=7,
+        )
+        result = simulator.run(shots=400, rounds=50)
+        summary = result.summary()
+        rows.append(
+            {
+                "policy": summary["policy"],
+                "LRCs/round": summary["lrcs_per_round"],
+                "false positives/round": summary["fp_per_round"],
+                "false negatives/round": summary["fn_per_round"],
+                "mean leakage population": summary["mean_dlp"],
+            }
+        )
+    print(format_table(rows, title="Leakage speculation on the d=5 surface code"))
+    print()
+    print(
+        "GLADIATOR inserts fewer leakage-reduction circuits than ERASER by"
+        " skipping syndrome patterns that ordinary Pauli noise explains."
+    )
+
+
+if __name__ == "__main__":
+    main()

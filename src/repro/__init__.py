@@ -1,0 +1,99 @@
+"""repro: a reproduction of "Accurate Leakage Speculation for Quantum Error Correction".
+
+The package implements GLADIATOR — graph-model-driven leakage speculation for
+QEC — together with every substrate its evaluation needs: QEC code
+constructions (surface, colour, hypergraph-product and two-block cyclic
+codes), a leakage-aware circuit-level simulator, matching and union-find
+decoders, LRC gadget and FPGA cost models, the ERASER and open-loop
+baselines, and the experiment harness that regenerates the paper's tables
+and figures.
+
+Quick start::
+
+    from repro import surface_code, paper_noise, make_policy
+    from repro.sim import LeakageSimulator, SimulatorOptions
+
+    code = surface_code(7)
+    policy = make_policy("gladiator+m")
+    sim = LeakageSimulator(code, paper_noise(), policy,
+                           options=SimulatorOptions(leakage_sampling=True))
+    result = sim.run(shots=500, rounds=70)
+    print(result.summary())
+"""
+
+from .codes import (
+    StabilizerCode,
+    bpc_code,
+    color_code,
+    hgp_code_from_checks,
+    hypergraph_product_code,
+    surface_code,
+    two_block_cyclic_code,
+)
+from .core import (
+    POLICY_NAMES,
+    CalibrationData,
+    EraserMPolicy,
+    EraserPolicy,
+    GladiatorDMPolicy,
+    GladiatorDPolicy,
+    GladiatorMPolicy,
+    GladiatorPolicy,
+    GraphModelConfig,
+    LeakagePolicy,
+    MobilityEstimator,
+    TransitionModel,
+    make_policy,
+)
+from .experiments import (
+    MemoryExperiment,
+    MemoryResult,
+    compare_policies,
+    compare_policies_decoded,
+    current_scale,
+    make_code,
+)
+from .noise import NoiseParams, ideal_noise, paper_noise
+from .sim import LeakageSimulator, RunResult, SimulatorOptions
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # codes
+    "StabilizerCode",
+    "surface_code",
+    "color_code",
+    "hypergraph_product_code",
+    "hgp_code_from_checks",
+    "bpc_code",
+    "two_block_cyclic_code",
+    # noise
+    "NoiseParams",
+    "paper_noise",
+    "ideal_noise",
+    # policies / core
+    "make_policy",
+    "POLICY_NAMES",
+    "LeakagePolicy",
+    "EraserPolicy",
+    "EraserMPolicy",
+    "GladiatorPolicy",
+    "GladiatorMPolicy",
+    "GladiatorDPolicy",
+    "GladiatorDMPolicy",
+    "GraphModelConfig",
+    "TransitionModel",
+    "CalibrationData",
+    "MobilityEstimator",
+    # simulation & experiments
+    "LeakageSimulator",
+    "SimulatorOptions",
+    "RunResult",
+    "MemoryExperiment",
+    "MemoryResult",
+    "compare_policies",
+    "compare_policies_decoded",
+    "current_scale",
+    "make_code",
+]

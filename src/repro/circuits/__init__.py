@@ -1,0 +1,19 @@
+"""Syndrome-extraction circuits, schedules, and LRC gadget models."""
+
+from .builder import CycleTimeModel, Operation, RoundCircuit
+from .lrc import LRC_GADGETS, DqlrLrc, LrcGadget, ResetLrc, SwapLrc, default_lrc
+from .schedule import CnotOperation, RoundSchedule
+
+__all__ = [
+    "RoundSchedule",
+    "CnotOperation",
+    "RoundCircuit",
+    "Operation",
+    "CycleTimeModel",
+    "LrcGadget",
+    "SwapLrc",
+    "ResetLrc",
+    "DqlrLrc",
+    "default_lrc",
+    "LRC_GADGETS",
+]

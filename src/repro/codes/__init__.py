@@ -1,0 +1,19 @@
+"""Quantum error-correcting code constructions used by the reproduction."""
+
+from .base import SpeculationGroup, Stabilizer, StabilizerCode
+from .bpc import bpc_code, two_block_cyclic_code
+from .color import color_code
+from .hgp import hgp_code_from_checks, hypergraph_product_code
+from .surface import surface_code
+
+__all__ = [
+    "SpeculationGroup",
+    "Stabilizer",
+    "StabilizerCode",
+    "surface_code",
+    "color_code",
+    "hypergraph_product_code",
+    "hgp_code_from_checks",
+    "bpc_code",
+    "two_block_cyclic_code",
+]

@@ -1,0 +1,148 @@
+"""Triangular 6.6.6 colour code construction.
+
+The distance-``d`` triangular colour code encodes one logical qubit in
+``(3 d**2 + 1) / 4`` data qubits (37 for ``d = 7``, as quoted in Section 5.1
+of the paper).  Every hexagonal plaquette hosts both an X-type and a Z-type
+stabilizer on the same support, so the parity-qubit count is ``2`` per
+plaquette.
+
+Construction: sites of a triangular lattice are arranged in rows
+``r = 0 .. 3(d-1)/2`` with columns ``c = 0 .. r``.  Sites with
+``(r + c) % 3 == 1`` are plaquette centres; all other sites are data qubits.
+A plaquette acts on its (up to six) neighbouring lattice sites, which are all
+data qubits because ``(r + c) mod 3`` is a proper 3-colouring of the
+triangular lattice.  Interior plaquettes have weight 6 and boundary
+plaquettes weight 4; for ``d = 3`` this reproduces the Steane code.
+
+Interior data qubits belong to three plaquettes, edge qubits to two and the
+corner qubits to one, which is exactly the 3/2/1-bit speculation-pattern
+structure the paper highlights for colour codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import SpeculationGroup, Stabilizer, StabilizerCode
+from .scheduling import assign_conflict_free_slots
+
+__all__ = ["color_code", "triangular_color_layout"]
+
+_NEIGHBOR_OFFSETS = ((0, -1), (0, 1), (-1, -1), (-1, 0), (1, 0), (1, 1))
+
+
+def triangular_color_layout(distance: int) -> tuple[list[tuple[int, int]], list[dict]]:
+    """Return (data sites, plaquettes) of the triangular 6.6.6 colour code."""
+    if distance < 3 or distance % 2 == 0:
+        raise ValueError("colour code distance must be an odd integer >= 3")
+    max_row = 3 * (distance - 1) // 2
+
+    def in_lattice(row: int, col: int) -> bool:
+        return 0 <= row <= max_row and 0 <= col <= row
+
+    data_sites: list[tuple[int, int]] = []
+    plaquette_sites: list[tuple[int, int]] = []
+    for row in range(max_row + 1):
+        for col in range(row + 1):
+            if (row + col) % 3 == 1:
+                plaquette_sites.append((row, col))
+            else:
+                data_sites.append((row, col))
+
+    plaquettes: list[dict] = []
+    for row, col in plaquette_sites:
+        support = [
+            (row + dr, col + dc)
+            for dr, dc in _NEIGHBOR_OFFSETS
+            if in_lattice(row + dr, col + dc)
+        ]
+        plaquettes.append(
+            {
+                "coords": (float(row), float(col)),
+                "support": sorted(support),
+                "color": (row - col) % 3,
+            }
+        )
+    return data_sites, plaquettes
+
+
+def color_code(distance: int) -> StabilizerCode:
+    """Build the triangular 6.6.6 colour code of odd distance ``distance``."""
+    data_sites, plaquettes = triangular_color_layout(distance)
+    site_to_index = {site: index for index, site in enumerate(data_sites)}
+    num_data = len(data_sites)
+    expected_data = (3 * distance * distance + 1) // 4
+    if num_data != expected_data:
+        raise RuntimeError(
+            f"colour code construction produced {num_data} data qubits, "
+            f"expected {expected_data}"
+        )
+
+    supports = [
+        tuple(site_to_index[s] for s in plaquette["support"]) for plaquette in plaquettes
+    ]
+    # One schedule entry per stabilizer: Z then X for each plaquette, so the
+    # edge colouring keeps the two ancillas of a plaquette in disjoint layers.
+    interleaved_supports = [s for support in supports for s in (support, support)]
+    interleaved_slots = assign_conflict_free_slots(interleaved_supports)
+
+    stabilizers: list[Stabilizer] = []
+    plaquette_pairs: list[tuple[int, int]] = []  # (z_index, x_index) per plaquette
+    for plaquette_index, plaquette in enumerate(plaquettes):
+        support = supports[plaquette_index]
+        z_index = len(stabilizers)
+        stabilizers.append(
+            Stabilizer(
+                index=z_index,
+                basis="Z",
+                data_support=support,
+                time_slots=interleaved_slots[2 * plaquette_index],
+                coords=plaquette["coords"],
+            )
+        )
+        x_index = len(stabilizers)
+        stabilizers.append(
+            Stabilizer(
+                index=x_index,
+                basis="X",
+                data_support=support,
+                time_slots=interleaved_slots[2 * plaquette_index + 1],
+                coords=plaquette["coords"],
+            )
+        )
+        plaquette_pairs.append((z_index, x_index))
+
+    # Logical X and Z both run along the left edge of the triangle (column 0).
+    boundary = [site_to_index[(row, 0)] for row, col in data_sites if col == 0]
+    logical = np.zeros(num_data, dtype=np.uint8)
+    logical[boundary] = 1
+
+    # Speculation patterns: one bit per adjacent plaquette (the OR of the
+    # plaquette's X and Z detector flips), matching the paper's 3-bit colour
+    # code patterns for interior qubits.
+    qubit_plaquettes: dict[int, list[int]] = {q: [] for q in range(num_data)}
+    for plaquette_index, plaquette in enumerate(plaquettes):
+        for site in plaquette["support"]:
+            qubit_plaquettes[site_to_index[site]].append(plaquette_index)
+    overrides = {}
+    for qubit, adjacent in qubit_plaquettes.items():
+        groups = []
+        for slot, plaquette_index in enumerate(sorted(adjacent)):
+            z_index, x_index = plaquette_pairs[plaquette_index]
+            groups.append(
+                SpeculationGroup(stabilizers=(z_index, x_index), time_slot=slot)
+            )
+        overrides[qubit] = groups
+
+    code = StabilizerCode(
+        name=f"color_d{distance}",
+        distance=distance,
+        num_data=num_data,
+        stabilizers=stabilizers,
+        logical_x=logical.copy(),
+        logical_z=logical.copy(),
+        data_coords=[(float(r), float(c)) for r, c in data_sites],
+        speculation_overrides=overrides,
+        metadata={"family": "color", "lattice": "6.6.6-triangular"},
+    )
+    return code

@@ -1,0 +1,41 @@
+"""Conflict-free CNOT scheduling for syndrome extraction.
+
+During one syndrome-extraction round every stabilizer's ancilla must interact
+with each data qubit in its support exactly once, and within one entangling
+layer a physical qubit can participate in at most one gate.  Assigning a time
+slot to every (stabilizer, data qubit) edge of the Tanner graph is therefore
+an edge-colouring problem; the greedy colouring below uses at most
+``deg(stabilizer) + deg(data) - 1`` layers, which is adequate for every code
+family in this library (the surface code supplies its own hand-crafted
+hook-error-avoiding schedule instead).
+"""
+
+from __future__ import annotations
+
+__all__ = ["assign_conflict_free_slots"]
+
+
+def assign_conflict_free_slots(
+    supports: list[tuple[int, ...]],
+) -> list[tuple[int, ...]]:
+    """Assign a CNOT time slot to every (stabilizer, data qubit) pair.
+
+    ``supports[i]`` is the data-qubit support of stabilizer ``i``; the return
+    value has the same shape and gives the time slot of each entry.  No data
+    qubit and no stabilizer is assigned the same slot twice.
+    """
+    data_busy: dict[int, set[int]] = {}
+    slot_lists: list[tuple[int, ...]] = []
+    for support in supports:
+        stab_busy: set[int] = set()
+        slots: list[int] = []
+        for qubit in support:
+            qubit_busy = data_busy.setdefault(qubit, set())
+            slot = 0
+            while slot in stab_busy or slot in qubit_busy:
+                slot += 1
+            slots.append(slot)
+            stab_busy.add(slot)
+            qubit_busy.add(slot)
+        slot_lists.append(tuple(slots))
+    return slot_lists

@@ -1,0 +1,141 @@
+"""Rotated surface code construction.
+
+The distance-``d`` rotated surface code uses ``d**2`` data qubits and
+``d**2 - 1`` parity qubits (one per stabilizer), the layout assumed
+throughout the paper (Section 2.2).  Data qubits sit on a ``d x d`` grid;
+weight-4 stabilizers sit on the faces of the grid in a checkerboard pattern
+and weight-2 stabilizers close the boundaries (X-type along the top/bottom
+rows, Z-type along the left/right columns).
+
+Each bulk data qubit touches four ancillas, which is why the paper's
+speculation patterns for the surface code are 4-bit strings; boundary and
+corner data qubits produce 3-bit and 2-bit patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Stabilizer, StabilizerCode
+
+__all__ = ["surface_code", "rotated_surface_layout"]
+
+
+def rotated_surface_layout(distance: int) -> list[dict]:
+    """Return the face layout of the rotated surface code.
+
+    Each entry describes one stabilizer: its basis, planar coordinates and the
+    data-qubit grid positions it touches, ordered by CNOT time slot.
+    """
+    if distance < 2:
+        raise ValueError("surface code distance must be at least 2")
+    faces: list[dict] = []
+    for face_row in range(-1, distance):
+        for face_col in range(-1, distance):
+            corners = [
+                (face_row, face_col),
+                (face_row, face_col + 1),
+                (face_row + 1, face_col),
+                (face_row + 1, face_col + 1),
+            ]
+            support = [
+                (row, col)
+                for row, col in corners
+                if 0 <= row < distance and 0 <= col < distance
+            ]
+            basis = "X" if (face_row + face_col) % 2 == 0 else "Z"
+            if len(support) == 4:
+                keep = True
+            elif len(support) == 2:
+                on_row_boundary = face_row in (-1, distance - 1)
+                keep = (basis == "X") if on_row_boundary else (basis == "Z")
+            else:
+                keep = False
+            if not keep:
+                continue
+            scheduled = _schedule_support(basis, corners, set(support))
+            faces.append(
+                {
+                    "basis": basis,
+                    "coords": (face_row + 0.5, face_col + 0.5),
+                    "support": [site for site, _ in scheduled],
+                    "slots": [slot for _, slot in scheduled],
+                }
+            )
+    return faces
+
+
+def _schedule_support(
+    basis: str,
+    corners: list[tuple[int, int]],
+    present: set[tuple[int, int]],
+) -> list[tuple[tuple[int, int], int]]:
+    """Assign CNOT time slots to a face's data qubits.
+
+    X stabilizers sweep their corners in a "Z" pattern (NW, NE, SW, SE) and Z
+    stabilizers in an "N" pattern (NW, SW, NE, SE); using opposite sweep
+    orders for the two bases is the standard schedule that avoids hook errors
+    and never touches a data qubit twice in the same layer.  Boundary faces
+    keep the slots of the corners they retain, so the global schedule stays
+    conflict-free.
+    """
+    north_west, north_east, south_west, south_east = corners
+    if basis == "X":
+        full_order = [north_west, north_east, south_west, south_east]
+    else:
+        full_order = [north_west, south_west, north_east, south_east]
+    return [
+        (site, slot) for slot, site in enumerate(full_order) if site in present
+    ]
+
+
+def surface_code(distance: int) -> StabilizerCode:
+    """Build the rotated surface code of odd distance ``distance``."""
+    if distance < 3 or distance % 2 == 0:
+        raise ValueError("surface code distance must be an odd integer >= 3")
+
+    def data_index(row: int, col: int) -> int:
+        return row * distance + col
+
+    stabilizers: list[Stabilizer] = []
+    for face in rotated_surface_layout(distance):
+        stabilizers.append(
+            Stabilizer(
+                index=len(stabilizers),
+                basis=face["basis"],
+                data_support=tuple(data_index(r, c) for r, c in face["support"]),
+                time_slots=tuple(face["slots"]),
+                coords=face["coords"],
+            )
+        )
+
+    num_data = distance * distance
+    # Logical Z runs along the top row (crosses the Z boundaries); logical X
+    # runs down the left column (crosses the X boundaries).
+    logical_z = np.zeros(num_data, dtype=np.uint8)
+    logical_z[[data_index(0, col) for col in range(distance)]] = 1
+    logical_x = np.zeros(num_data, dtype=np.uint8)
+    logical_x[[data_index(row, 0) for row in range(distance)]] = 1
+
+    data_coords = [
+        (float(row), float(col))
+        for row in range(distance)
+        for col in range(distance)
+    ]
+    code = StabilizerCode(
+        name=f"surface_d{distance}",
+        distance=distance,
+        num_data=num_data,
+        stabilizers=stabilizers,
+        logical_x=logical_x,
+        logical_z=logical_z,
+        data_coords=data_coords,
+        metadata={"family": "surface", "lattice": "rotated"},
+    )
+    expected = distance * distance - 1
+    if code.num_ancilla != expected:
+        raise RuntimeError(
+            f"surface code construction produced {code.num_ancilla} stabilizers, "
+            f"expected {expected}"
+        )
+    return code

@@ -1,0 +1,137 @@
+"""Boolean minimisation of leakage-pattern sets (Appendix B of the paper).
+
+The flagged patterns of a speculator form a truth table; minimising it with
+the Quine-McCluskey procedure yields the compact sum-of-products expressions
+the paper lists for the surface code, colour code and BPC code, and is what
+keeps the hardware sequence checker down to a few LUTs.  The implementation
+here is a straightforward exact prime-implicant generation followed by a
+greedy cover (sufficient for the ≤10-variable functions that arise from
+tagged speculation patterns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+__all__ = ["Implicant", "quine_mccluskey", "expression_to_string", "count_literals"]
+
+
+@dataclass(frozen=True)
+class Implicant:
+    """One product term: ``value`` on the cared bits selected by ``mask``.
+
+    ``mask`` has a 1 for every variable that appears in the term; ``value``
+    gives the required polarity of those variables.
+    """
+
+    mask: int
+    value: int
+
+    def covers(self, minterm: int) -> bool:
+        """Whether this implicant covers the given minterm."""
+        return (minterm & self.mask) == self.value
+
+    def literals(self, width: int) -> list[tuple[int, bool]]:
+        """The (variable index, polarity) literals of this term."""
+        return [
+            (bit, bool(self.value & (1 << bit)))
+            for bit in range(width)
+            if self.mask & (1 << bit)
+        ]
+
+    def num_literals(self, width: int) -> int:
+        """Number of literals in this term."""
+        return len(self.literals(width))
+
+
+def _combine(a: Implicant, b: Implicant) -> Implicant | None:
+    """Merge two implicants differing in exactly one cared bit, if possible."""
+    if a.mask != b.mask:
+        return None
+    difference = a.value ^ b.value
+    if difference == 0 or (difference & (difference - 1)) != 0:
+        return None
+    new_mask = a.mask & ~difference
+    return Implicant(mask=new_mask, value=a.value & new_mask)
+
+
+def quine_mccluskey(minterms: set[int] | list[int], width: int) -> list[Implicant]:
+    """Minimise the boolean function that is true exactly on ``minterms``.
+
+    Returns a (greedy) minimal cover of prime implicants.  An empty input
+    returns an empty expression (constant false); a complete input returns a
+    single don't-care-everything implicant (constant true).
+    """
+    minterm_set = set(int(m) for m in minterms)
+    if not minterm_set:
+        return []
+    if any(m < 0 or m >= (1 << width) for m in minterm_set):
+        raise ValueError("minterm out of range for the given width")
+    if len(minterm_set) == (1 << width):
+        return [Implicant(mask=0, value=0)]
+
+    full_mask = (1 << width) - 1
+    current = {Implicant(mask=full_mask, value=m) for m in minterm_set}
+    primes: set[Implicant] = set()
+    while current:
+        merged: set[Implicant] = set()
+        used: set[Implicant] = set()
+        current_list = sorted(current, key=lambda imp: (imp.mask, imp.value))
+        for a, b in combinations(current_list, 2):
+            combined = _combine(a, b)
+            if combined is not None:
+                merged.add(combined)
+                used.add(a)
+                used.add(b)
+        primes |= current - used
+        current = merged
+
+    # Greedy cover: essential primes first, then largest remaining coverage.
+    remaining = set(minterm_set)
+    cover: list[Implicant] = []
+    prime_list = sorted(primes, key=lambda imp: (bin(imp.mask).count("1"), imp.value))
+    # Essential prime implicants.
+    for minterm in sorted(minterm_set):
+        covering = [p for p in prime_list if p.covers(minterm)]
+        if len(covering) == 1 and covering[0] not in cover:
+            cover.append(covering[0])
+    for implicant in cover:
+        remaining -= {m for m in remaining if implicant.covers(m)}
+    while remaining:
+        best = max(
+            prime_list,
+            key=lambda p: sum(1 for m in remaining if p.covers(m)),
+        )
+        cover.append(best)
+        remaining -= {m for m in remaining if best.covers(m)}
+    return cover
+
+
+def expression_to_string(
+    implicants: list[Implicant], width: int, variable_prefix: str = "x"
+) -> str:
+    """Render an implicant list in the paper's DNF notation."""
+    if not implicants:
+        return "False"
+    terms = []
+    for implicant in implicants:
+        literals = implicant.literals(width)
+        if not literals:
+            return "True"
+        rendered = [
+            f"{variable_prefix}{bit}" if polarity else f"~{variable_prefix}{bit}"
+            for bit, polarity in literals
+        ]
+        terms.append("(" + " & ".join(rendered) + ")")
+    return " | ".join(terms)
+
+
+def count_literals(implicants: list[Implicant], width: int) -> int:
+    """Total literal count of a sum-of-products expression."""
+    return sum(implicant.num_literals(width) for implicant in implicants)
+
+
+def evaluate(implicants: list[Implicant], value: int) -> bool:
+    """Evaluate a sum-of-products expression on one input assignment."""
+    return any(implicant.covers(value) for implicant in implicants)

@@ -1,0 +1,77 @@
+"""GLADIATOR: graph-model-driven leakage speculation (Section 4).
+
+Offline, a :class:`~repro.core.graph_model.TransitionModel` is built for each
+distinct data-qubit context (pattern width and adjacent stabilizer bases) and
+its patterns are labelled leakage-critical or benign by comparing the merged
+leakage and non-leakage super-edge weights.  Online, the policy is a pure
+table lookup from the observed per-qubit pattern to an LRC decision —
+exactly what the hardware sequence checker of Section 4.4 implements in a
+handful of LUTs.
+
+``GladiatorPolicy`` is the single-round speculator; ``GladiatorMPolicy`` adds
+multi-level readout.  The deferred two-round variants live in
+:mod:`repro.core.gladiator_d`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..codes.base import StabilizerCode
+from ..noise import NoiseParams
+from .calibration import CalibrationData
+from .graph_model import GraphModelConfig, labels_for_qubit
+from .speculator import LookupPolicy
+
+__all__ = ["GladiatorPolicy", "GladiatorMPolicy"]
+
+
+@dataclass
+class GladiatorPolicy(LookupPolicy):
+    """Single-round GLADIATOR speculator.
+
+    Parameters
+    ----------
+    config:
+        Graph-model knobs (labelling threshold, persistence weight, ...).
+    calibration:
+        Device calibration used to weight the graph edges.  When ``None``
+        (default) the calibration is derived from the simulated noise model
+        at :meth:`prepare` time, i.e. a perfectly calibrated device;
+        passing a drifted :class:`CalibrationData` emulates stale calibration.
+    """
+
+    name: str = "gladiator"
+    uses_mlr: bool = False
+    config: GraphModelConfig = field(default_factory=GraphModelConfig)
+    calibration: CalibrationData | None = None
+
+    def prepare(self, code: StabilizerCode, noise: NoiseParams) -> None:
+        if self.calibration is None:
+            self.calibration = CalibrationData.from_noise(noise)
+        super().prepare(code, noise)
+
+    def flag_table(self, qubit: int) -> np.ndarray:
+        return labels_for_qubit(
+            self.code,
+            qubit,
+            calibration=self.calibration,
+            config=self.config,
+            two_rounds=False,
+        )
+
+    def recalibrate(self, calibration: CalibrationData) -> None:
+        """Update the edge weights (and hence the tables) with new calibration data."""
+        self.calibration = calibration
+        if hasattr(self, "_code"):
+            super().prepare(self.code, self.noise)
+
+
+@dataclass
+class GladiatorMPolicy(GladiatorPolicy):
+    """GLADIATOR+M: graph-model speculation plus multi-level readout triggers."""
+
+    name: str = "gladiator"
+    uses_mlr: bool = True

@@ -1,0 +1,685 @@
+"""GLADIATOR's code-aware error-propagation graph model (Section 4.2).
+
+For every data qubit the model enumerates the error mechanisms that can act
+during one (or two) syndrome-extraction rounds and the detector-flip pattern
+each mechanism produces on the qubit's adjacent ancillas:
+
+* **non-leakage** mechanisms (data Pauli errors injected before any CNOT of
+  the qubit's schedule, isolated measurement/reset/ancilla-gate flips, and
+  optionally pairs of those) yield *deterministic* patterns,
+* **leakage** mechanisms (leakage injected before any CNOT, or leakage that
+  persists from earlier rounds) randomise every subsequent CNOT and therefore
+  spread their probability uniformly over all reachable patterns.
+
+Summing the probabilities of the mechanisms that reach a pattern gives the
+leakage super-edge weight ``W_L`` and non-leakage super-edge weight ``W_NL``
+of that pattern's node in the merged transition graph; a pattern is labelled
+*leakage-critical* when ``W_L > threshold * W_NL``.  The resulting lookup
+table is what the online sequence checker matches against.
+
+The same machinery, applied to a two-round window, yields the deferred
+GLADIATOR-D tables (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import networkx as nx
+import numpy as np
+
+from ..codes.base import StabilizerCode
+from ..noise import NoiseParams
+from .calibration import CalibrationData
+
+__all__ = [
+    "GraphModelConfig",
+    "QubitContext",
+    "GroupInfo",
+    "qubit_context",
+    "TransitionModel",
+    "build_transition_graph",
+]
+
+_PAULIS = ("X", "Y", "Z")
+
+
+@dataclass(frozen=True)
+class GraphModelConfig:
+    """Tunable knobs of the graph model.
+
+    Attributes
+    ----------
+    threshold:
+        A pattern is flagged when ``W_L > threshold * W_NL``.  The default is
+        below 1 because false negatives and false positives are not
+        symmetric: a missed leakage keeps corrupting syndromes (and can
+        spread) for several further rounds, whereas an unnecessary LRC costs
+        a single noisy gadget.  The threshold is the FP-to-FN cost ratio;
+        lowering it makes speculation more aggressive.
+    persistence_rounds:
+        Expected number of rounds a leaked data qubit survives before an LRC
+        removes it; together with the per-round number of leakage
+        opportunities it weights the "already leaked" mechanism.
+    gate_error_factor:
+        Fraction of a CNOT's depolarising error budget attributed to the data
+        operand (produces mid-round data errors).
+    isolated_flip_factor:
+        Multiple of the physical error rate assigned to mechanisms that flip
+        exactly one syndrome bit (measurement + reset + ancilla-side gate
+        error).
+    include_second_order:
+        Whether to include pairs of isolated bit flips as second-order
+        non-leakage mechanisms.
+    include_prior_round_completion:
+        Whether to include detector "completions" of errors that occurred in
+        the previous round (they produce the complementary prefix pattern).
+    include_neighbor_leakage:
+        Whether to model leakage on *neighbouring* data qubits as a benign
+        (from this qubit's point of view) cause of partial pattern
+        randomisation.  Neighbouring leakage randomises only the ancillas the
+        two qubits share, and scheduling an LRC on this qubit would not fix
+        it; accounting for it is what keeps GLADIATOR from over-triggering on
+        dense qLDPC codes where every check is shared by many data qubits.
+    """
+
+    threshold: float = 0.2
+    threshold_two_round: float = 0.5
+    persistence_rounds: float = 2.0
+    gate_error_factor: float = 0.5
+    isolated_flip_factor: float = 2.5
+    include_second_order: bool = True
+    include_prior_round_completion: bool = True
+    include_neighbor_leakage: bool = True
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0 or self.threshold_two_round <= 0:
+            raise ValueError("thresholds must be positive")
+        if self.persistence_rounds < 0:
+            raise ValueError("persistence_rounds must be non-negative")
+
+
+@dataclass(frozen=True)
+class GroupInfo:
+    """One bit of a data qubit's speculation pattern.
+
+    ``bases`` are the bases of the stabilizers whose detector flips are OR-ed
+    into this bit, and ``weights`` their support sizes; a heavier stabilizer's
+    ancilla is touched by more CNOTs per round and therefore flips more often
+    for reasons unrelated to this data qubit.
+    """
+
+    position: int
+    bases: tuple[str, ...]
+    weights: tuple[int, ...] = ()
+
+    @property
+    def stabilizer_weights(self) -> tuple[int, ...]:
+        """Support sizes of the stabilizers in this group (defaults to weight 4)."""
+        if self.weights:
+            return self.weights
+        return tuple(4 for _ in self.bases)
+
+
+@dataclass(frozen=True)
+class QubitContext:
+    """Everything the graph model needs to know about one data qubit.
+
+    ``neighbor_overlaps`` lists, for every neighbouring data qubit that shares
+    at least one ancilla with this one, the bit mask of this qubit's pattern
+    positions that the shared ancillas feed.  Leakage on that neighbour can
+    randomise exactly those bits and nothing else.
+    """
+
+    width: int
+    groups: tuple[GroupInfo, ...]
+    neighbor_overlaps: tuple[int, ...] = ()
+
+    @property
+    def signature(self) -> tuple:
+        """Hashable key identifying equivalent qubits (used to share tables)."""
+        return (
+            tuple((g.position, g.bases, g.stabilizer_weights) for g in self.groups),
+            tuple(sorted(self.neighbor_overlaps)),
+        )
+
+
+def qubit_context(code: StabilizerCode, qubit: int) -> QubitContext:
+    """Extract the speculation context of ``qubit`` from ``code``."""
+    groups = []
+    stab_to_position: dict[int, int] = {}
+    for position, group in enumerate(code.speculation_groups[qubit]):
+        bases = tuple(code.stabilizers[s].basis for s in group.stabilizers)
+        weights = tuple(code.stabilizers[s].weight for s in group.stabilizers)
+        groups.append(GroupInfo(position=position, bases=bases, weights=weights))
+        for stab in group.stabilizers:
+            stab_to_position[stab] = position
+    # Which of this qubit's pattern bits each neighbouring data qubit can touch.
+    overlap_by_neighbor: dict[int, int] = {}
+    for stab_index, position in stab_to_position.items():
+        for other in code.stabilizers[stab_index].data_support:
+            if other == qubit:
+                continue
+            overlap_by_neighbor[other] = overlap_by_neighbor.get(other, 0) | (1 << position)
+    return QubitContext(
+        width=len(groups),
+        groups=tuple(groups),
+        neighbor_overlaps=tuple(sorted(overlap_by_neighbor.values())),
+    )
+
+
+@dataclass(frozen=True)
+class Mechanism:
+    """One error mechanism and its (conditional) pattern distribution."""
+
+    name: str
+    probability: float
+    is_leakage: bool
+    outcomes: tuple[tuple[int, float], ...]  # (pattern, conditional probability)
+
+
+@dataclass
+class TransitionModel:
+    """Per-qubit syndrome-transition model and pattern labeller."""
+
+    context: QubitContext
+    calibration: CalibrationData
+    config: GraphModelConfig = field(default_factory=GraphModelConfig)
+
+    # ------------------------------------------------------------------ #
+    # Pattern algebra
+    # ------------------------------------------------------------------ #
+    def _pauli_flip_pattern(self, pauli: str, start_position: int) -> int:
+        """Pattern produced by a data Pauli error injected before ``start_position``."""
+        pattern = 0
+        for group in self.context.groups:
+            if group.position < start_position:
+                continue
+            detects = ("Z" in group.bases and pauli in ("X", "Y")) or (
+                "X" in group.bases and pauli in ("Z", "Y")
+            )
+            if detects:
+                pattern |= 1 << group.position
+        return pattern
+
+    def _suffix_mask(self, start_position: int) -> int:
+        """Bit mask of the groups at or after ``start_position``."""
+        mask = 0
+        for group in self.context.groups:
+            if group.position >= start_position:
+                mask |= 1 << group.position
+        return mask
+
+    @staticmethod
+    def _uniform_outcomes(mask: int) -> tuple[tuple[int, float], ...]:
+        """Uniform distribution over all sub-patterns of ``mask``."""
+        positions = [i for i in range(mask.bit_length()) if mask & (1 << i)]
+        count = 1 << len(positions)
+        outcomes = []
+        for value in range(count):
+            pattern = 0
+            for bit_index, position in enumerate(positions):
+                if value & (1 << bit_index):
+                    pattern |= 1 << position
+            outcomes.append((pattern, 1.0 / count))
+        return tuple(outcomes)
+
+    # ------------------------------------------------------------------ #
+    # Mechanism enumeration: single round
+    # ------------------------------------------------------------------ #
+    def single_round_mechanisms(self) -> list[Mechanism]:
+        """All modelled error mechanisms of one QEC round (base pattern 0)."""
+        cal, cfg, width = self.calibration, self.config, self.context.width
+        mechanisms: list[Mechanism] = []
+
+        # Data Pauli errors injected before each CNOT position.
+        for position in range(width):
+            scale = 1.0 if position == 0 else cfg.gate_error_factor
+            base_probability = cal.data_error if position == 0 else cal.gate_error
+            for pauli in _PAULIS:
+                pattern = self._pauli_flip_pattern(pauli, position)
+                if pattern == 0:
+                    continue
+                mechanisms.append(
+                    Mechanism(
+                        name=f"data_{pauli}_t{position}",
+                        probability=base_probability * scale / 3.0,
+                        is_leakage=False,
+                        outcomes=((pattern, 1.0),),
+                    )
+                )
+
+        # Completion of a data error that occurred mid-way through the
+        # previous round (its detector signature this round is the prefix).
+        if cfg.include_prior_round_completion:
+            for position in range(1, width):
+                for pauli in _PAULIS:
+                    full = self._pauli_flip_pattern(pauli, 0)
+                    suffix = self._pauli_flip_pattern(pauli, position)
+                    pattern = full ^ suffix
+                    if pattern == 0:
+                        continue
+                    mechanisms.append(
+                        Mechanism(
+                            name=f"prior_{pauli}_t{position}",
+                            probability=cal.gate_error * cfg.gate_error_factor / 3.0,
+                            is_leakage=False,
+                            outcomes=((pattern, 1.0),),
+                        )
+                    )
+
+        # Isolated single-bit flips (measurement, reset, ancilla-side gate error).
+        isolated = self._isolated_bit_probabilities()
+        for position, probability in isolated.items():
+            mechanisms.append(
+                Mechanism(
+                    name=f"isolated_bit{position}",
+                    probability=probability,
+                    is_leakage=False,
+                    outcomes=((1 << position, 1.0),),
+                )
+            )
+
+        # Second-order: XOR combinations of any two first-order non-leakage
+        # mechanisms (two independent faults in the same round).
+        if cfg.include_second_order:
+            mechanisms.extend(self._second_order_pairs(mechanisms))
+
+        # Leakage injected before each CNOT position: subsequent CNOTs
+        # malfunction and produce uniformly random flips.
+        for position in range(width):
+            mask = self._suffix_mask(position)
+            mechanisms.append(
+                Mechanism(
+                    name=f"leak_t{position}",
+                    probability=cal.leakage_rate,
+                    is_leakage=True,
+                    outcomes=self._leakage_outcomes(mask),
+                )
+            )
+
+        # Leakage persisting from earlier rounds: the whole pattern is random.
+        # The chance of being leaked "now" is the per-round injection rate
+        # (one environment plus one opportunity per scheduled CNOT) times the
+        # expected number of rounds a leaked qubit survives undetected.
+        if cfg.persistence_rounds > 0:
+            mechanisms.append(
+                Mechanism(
+                    name="leak_persistent",
+                    probability=cal.leakage_rate
+                    * (width + 1)
+                    * cfg.persistence_rounds,
+                    is_leakage=True,
+                    outcomes=self._leakage_outcomes(self._suffix_mask(0)),
+                )
+            )
+
+        # Leakage on a *neighbouring* data qubit randomises only the shared
+        # ancillas.  An LRC on this qubit would not help, so the mechanism
+        # counts as non-leakage for labelling purposes.
+        if cfg.include_neighbor_leakage:
+            neighbor_leaked = self._neighbor_leak_probability()
+            for index, overlap in enumerate(self.context.neighbor_overlaps):
+                if overlap == 0:
+                    continue
+                mechanisms.append(
+                    Mechanism(
+                        name=f"neighbor_leak_{index}",
+                        probability=neighbor_leaked,
+                        is_leakage=False,
+                        outcomes=self._leakage_outcomes(overlap),
+                    )
+                )
+        return mechanisms
+
+    def _neighbor_leak_probability(self) -> float:
+        """Estimated probability that one particular neighbouring data qubit is leaked."""
+        width = self.context.width
+        return (
+            self.calibration.leakage_rate
+            * (width + 1)
+            * max(1.0, self.config.persistence_rounds)
+        )
+
+    @staticmethod
+    def _second_order_pairs(first_order: list[Mechanism]) -> list[Mechanism]:
+        """XOR combinations of two deterministic first-order non-leakage mechanisms."""
+        deterministic = [
+            (mechanism.probability, mechanism.outcomes[0][0])
+            for mechanism in first_order
+            if not mechanism.is_leakage and len(mechanism.outcomes) == 1
+        ]
+        pairs: dict[int, float] = {}
+        for index, (prob_a, pattern_a) in enumerate(deterministic):
+            for prob_b, pattern_b in deterministic[index + 1 :]:
+                combined = pattern_a ^ pattern_b
+                if combined == 0:
+                    continue
+                pairs[combined] = pairs.get(combined, 0.0) + prob_a * prob_b
+        return [
+            Mechanism(
+                name="second_order",
+                probability=probability,
+                is_leakage=False,
+                outcomes=((pattern, 1.0),),
+            )
+            for pattern, probability in pairs.items()
+        ]
+
+    def _isolated_bit_probabilities(self) -> dict[int, float]:
+        """Per-bit probability of a flip caused by measurement/reset/ancilla errors.
+
+        Each stabilizer's ancilla can be flipped by its measurement, its
+        reset, and by the ancilla-side component of *every* CNOT in its
+        support, so the rate scales with the stabilizer weight.  With uniform
+        calibration rates and weight-4 checks this is ``isolated_flip_factor
+        * p`` per stabilizer (4p by default); heavier qLDPC checks flip
+        proportionally more often, which is what keeps the model from
+        mistaking their background flicker for leakage.
+        """
+        cal, cfg = self.calibration, self.config
+        scale = cfg.isolated_flip_factor / 2.5
+        probabilities: dict[int, float] = {}
+        for group in self.context.groups:
+            total = 0.0
+            for weight in group.stabilizer_weights:
+                total += (
+                    cal.measurement_error
+                    + cal.reset_error
+                    + 0.5 * weight * cal.gate_error
+                )
+            probabilities[group.position] = total * scale
+        return probabilities
+
+    def _leakage_outcomes(self, mask: int) -> tuple[tuple[int, float], ...]:
+        """Pattern distribution produced by leakage randomising the masked bits.
+
+        A leaked qubit randomises each CNOT partner independently (50% flip),
+        so a pattern bit that ORs ``n`` ancillas flips with probability
+        ``1 - 0.5**n``; for single-ancilla groups this reduces to the uniform
+        distribution, for the colour code's plaquette pairs it is biased
+        towards heavier patterns.
+        """
+        positions = [i for i in range(mask.bit_length()) if mask & (1 << i)]
+        flip_probabilities = []
+        group_by_position = {g.position: g for g in self.context.groups}
+        for position in positions:
+            group = group_by_position.get(position)
+            ancillas = len(group.bases) if group is not None else 1
+            flip_probabilities.append(1.0 - 0.5**ancillas)
+        outcomes = []
+        for value in range(1 << len(positions)):
+            pattern = 0
+            probability = 1.0
+            for bit_index, position in enumerate(positions):
+                if value & (1 << bit_index):
+                    pattern |= 1 << position
+                    probability *= flip_probabilities[bit_index]
+                else:
+                    probability *= 1.0 - flip_probabilities[bit_index]
+            outcomes.append((pattern, probability))
+        return tuple(outcomes)
+
+    # ------------------------------------------------------------------ #
+    # Mechanism enumeration: two-round window (GLADIATOR-D)
+    # ------------------------------------------------------------------ #
+    def two_round_mechanisms(self) -> list[Mechanism]:
+        """Error mechanisms over a two-round window.
+
+        Outcomes are packed as ``current | (previous << width)`` to match the
+        lookup key produced online by :class:`~repro.core.speculator.LookupPolicy`.
+        """
+        cal, cfg, width = self.calibration, self.config, self.context.width
+        mechanisms: list[Mechanism] = []
+
+        def pack(previous: int, current: int) -> int:
+            return current | (previous << width)
+
+        # Data Pauli errors in the first (previous) round: partial flips in
+        # round 1, complementary flips in round 2.
+        for position in range(width):
+            scale = 1.0 if position == 0 else cfg.gate_error_factor
+            base_probability = cal.data_error if position == 0 else cal.gate_error
+            for pauli in _PAULIS:
+                suffix = self._pauli_flip_pattern(pauli, position)
+                full = self._pauli_flip_pattern(pauli, 0)
+                if suffix == 0 and full == 0:
+                    continue
+                mechanisms.append(
+                    Mechanism(
+                        name=f"data_{pauli}_r1_t{position}",
+                        probability=base_probability * scale / 3.0,
+                        is_leakage=False,
+                        outcomes=((pack(suffix, full ^ suffix), 1.0),),
+                    )
+                )
+                # Same error occurring in the second (current) round.
+                mechanisms.append(
+                    Mechanism(
+                        name=f"data_{pauli}_r2_t{position}",
+                        probability=base_probability * scale / 3.0,
+                        is_leakage=False,
+                        outcomes=((pack(0, suffix), 1.0),),
+                    )
+                )
+                # Error from before the window completing in round 1.
+                if cfg.include_prior_round_completion and (full ^ suffix) != 0:
+                    mechanisms.append(
+                        Mechanism(
+                            name=f"data_{pauli}_r0_t{position}",
+                            probability=base_probability * scale / 3.0,
+                            is_leakage=False,
+                            outcomes=((pack(full ^ suffix, 0), 1.0),),
+                        )
+                    )
+
+        # Isolated bit flips: a measurement error in round r fires the
+        # detector in rounds r and r+1.
+        isolated = self._isolated_bit_probabilities()
+        for position, probability in isolated.items():
+            bit = 1 << position
+            mechanisms.append(
+                Mechanism(
+                    name=f"meas_bit{position}_r1",
+                    probability=probability,
+                    is_leakage=False,
+                    outcomes=((pack(bit, bit), 1.0),),
+                )
+            )
+            mechanisms.append(
+                Mechanism(
+                    name=f"meas_bit{position}_r2",
+                    probability=probability,
+                    is_leakage=False,
+                    outcomes=((pack(0, bit), 1.0),),
+                )
+            )
+            mechanisms.append(
+                Mechanism(
+                    name=f"meas_bit{position}_r0",
+                    probability=probability,
+                    is_leakage=False,
+                    outcomes=((pack(bit, 0), 1.0),),
+                )
+            )
+
+        if cfg.include_second_order:
+            mechanisms.extend(self._second_order_pairs(mechanisms))
+
+        # Leakage: once leaked, every later CNOT in the window is randomised.
+        full_mask = self._suffix_mask(0)
+        for position in range(width):
+            suffix_mask = self._suffix_mask(position)
+            outcomes = []
+            for r1_pattern, p1 in self._leakage_outcomes(suffix_mask):
+                for r2_pattern, p2 in self._leakage_outcomes(full_mask):
+                    outcomes.append((pack(r1_pattern, r2_pattern), p1 * p2))
+            mechanisms.append(
+                Mechanism(
+                    name=f"leak_r1_t{position}",
+                    probability=cal.leakage_rate,
+                    is_leakage=True,
+                    outcomes=tuple(outcomes),
+                )
+            )
+            mechanisms.append(
+                Mechanism(
+                    name=f"leak_r2_t{position}",
+                    probability=cal.leakage_rate,
+                    is_leakage=True,
+                    outcomes=tuple(
+                        (pack(0, pattern), weight)
+                        for pattern, weight in self._leakage_outcomes(suffix_mask)
+                    ),
+                )
+            )
+        if cfg.persistence_rounds > 0:
+            outcomes = []
+            for r1_pattern, p1 in self._leakage_outcomes(full_mask):
+                for r2_pattern, p2 in self._leakage_outcomes(full_mask):
+                    outcomes.append((pack(r1_pattern, r2_pattern), p1 * p2))
+            mechanisms.append(
+                Mechanism(
+                    name="leak_persistent_window",
+                    probability=cal.leakage_rate
+                    * (width + 1)
+                    * cfg.persistence_rounds,
+                    is_leakage=True,
+                    outcomes=tuple(outcomes),
+                )
+            )
+
+        # Persistent leakage on a neighbouring data qubit randomises the shared
+        # bits in both rounds of the window (benign for this qubit's LRC).
+        if cfg.include_neighbor_leakage:
+            neighbor_leaked = self._neighbor_leak_probability()
+            for index, overlap in enumerate(self.context.neighbor_overlaps):
+                if overlap == 0:
+                    continue
+                outcomes = []
+                for r1_pattern, p1 in self._leakage_outcomes(overlap):
+                    for r2_pattern, p2 in self._leakage_outcomes(overlap):
+                        outcomes.append((pack(r1_pattern, r2_pattern), p1 * p2))
+                mechanisms.append(
+                    Mechanism(
+                        name=f"neighbor_leak_window_{index}",
+                        probability=neighbor_leaked,
+                        is_leakage=False,
+                        outcomes=tuple(outcomes),
+                    )
+                )
+        return mechanisms
+
+    # ------------------------------------------------------------------ #
+    # Super-edge weights and labelling
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _accumulate(
+        mechanisms: list[Mechanism], table_size: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        leakage_weight = np.zeros(table_size)
+        nonleakage_weight = np.zeros(table_size)
+        for mechanism in mechanisms:
+            target = leakage_weight if mechanism.is_leakage else nonleakage_weight
+            for pattern, conditional in mechanism.outcomes:
+                target[pattern] += mechanism.probability * conditional
+        return leakage_weight, nonleakage_weight
+
+    def super_edge_weights(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(W_L, W_NL)`` per single-round pattern."""
+        return self._accumulate(self.single_round_mechanisms(), 1 << self.context.width)
+
+    def two_round_super_edge_weights(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(W_L, W_NL)`` per two-round pattern pair."""
+        return self._accumulate(
+            self.two_round_mechanisms(), 1 << (2 * self.context.width)
+        )
+
+    def label_patterns(self) -> np.ndarray:
+        """Boolean table over single-round patterns: True = leakage-critical."""
+        leakage_weight, nonleakage_weight = self.super_edge_weights()
+        flagged = leakage_weight > self.config.threshold * nonleakage_weight
+        flagged[0] = False
+        return flagged
+
+    def label_two_round_patterns(self) -> np.ndarray:
+        """Boolean table over two-round pattern pairs: True = leakage-critical.
+
+        The deferred speculator sees twice the evidence, so it uses the
+        stricter ``threshold_two_round``; this is what lets GLADIATOR-D flag
+        a *smaller* fraction of its (much larger) pattern space than the
+        single-round speculator, as reported in Section 5.2.
+        """
+        leakage_weight, nonleakage_weight = self.two_round_super_edge_weights()
+        flagged = leakage_weight > self.config.threshold_two_round * nonleakage_weight
+        flagged[0] = False
+        return flagged
+
+
+def build_transition_graph(
+    model: TransitionModel, two_rounds: bool = False
+) -> nx.MultiDiGraph:
+    """Materialise the merged transition graph as a ``networkx`` multidigraph.
+
+    Nodes are patterns (integers); edges run from the error-free base pattern
+    ``0`` to every reachable pattern, keyed by ``"leakage"`` /
+    ``"nonleakage"``, and carry the merged super-edge ``weight``.  Node
+    attribute ``label`` records the final classification, mirroring
+    Figure 6(b,c) of the paper.
+    """
+    width = model.context.width * (2 if two_rounds else 1)
+    mechanisms = (
+        model.two_round_mechanisms() if two_rounds else model.single_round_mechanisms()
+    )
+    graph = nx.MultiDiGraph()
+    graph.add_nodes_from(range(1 << width))
+    for mechanism in mechanisms:
+        for pattern, conditional in mechanism.outcomes:
+            weight = mechanism.probability * conditional
+            kind = "leakage" if mechanism.is_leakage else "nonleakage"
+            if graph.has_edge(0, pattern, key=kind):
+                graph[0][pattern][kind]["weight"] += weight
+            else:
+                graph.add_edge(0, pattern, key=kind, weight=weight, kind=kind)
+    labels = (
+        model.label_two_round_patterns() if two_rounds else model.label_patterns()
+    )
+    for pattern in range(1 << width):
+        graph.nodes[pattern]["label"] = "leakage" if labels[pattern] else "nonleakage"
+    return graph
+
+
+@lru_cache(maxsize=None)
+def _cached_labels(
+    signature: tuple,
+    calibration: CalibrationData,
+    config: GraphModelConfig,
+    two_rounds: bool,
+) -> tuple[bool, ...]:
+    """Cache labels across data qubits that share the same context."""
+    group_part, overlap_part = signature
+    context = QubitContext(
+        width=len(group_part),
+        groups=tuple(
+            GroupInfo(position=position, bases=bases, weights=weights)
+            for position, bases, weights in group_part
+        ),
+        neighbor_overlaps=tuple(overlap_part),
+    )
+    model = TransitionModel(context=context, calibration=calibration, config=config)
+    table = model.label_two_round_patterns() if two_rounds else model.label_patterns()
+    return tuple(bool(x) for x in table)
+
+
+def labels_for_qubit(
+    code: StabilizerCode,
+    qubit: int,
+    calibration: CalibrationData,
+    config: GraphModelConfig,
+    two_rounds: bool = False,
+) -> np.ndarray:
+    """Leakage-critical pattern table for one data qubit (cached by context)."""
+    context = qubit_context(code, qubit)
+    cached = _cached_labels(context.signature, calibration, config, two_rounds)
+    return np.array(cached, dtype=bool)

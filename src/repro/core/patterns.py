@@ -1,0 +1,115 @@
+"""Syndrome-pattern utilities.
+
+A *speculation pattern* is the bit string of detector flips observed on the
+ancillas adjacent to one data qubit during one QEC round, ordered by the time
+slot at which the data qubit interacted with each ancilla (bit 0 is the
+earliest CNOT).  The paper writes these as strings such as ``"0011"``; this
+module provides the conversions between strings, bit tuples and the packed
+integers the vectorised simulator uses, plus the 5-bit index-tag encoding of
+Section 4.4 that lets a single sequence checker serve 2-, 3- and 4-bit
+patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bits_to_int",
+    "int_to_bits",
+    "pattern_to_string",
+    "string_to_int",
+    "popcount",
+    "eraser_flags_pattern",
+    "count_eraser_patterns",
+    "tag_pattern",
+    "untag_pattern",
+    "TAG_PREFIXES",
+]
+
+#: Index-tag prefixes used to normalise patterns of different widths to a
+#: common 5-bit representation (Section 4.4): 4-bit patterns are prefixed
+#: with "0", 3-bit with "10" and 2-bit with "110".
+TAG_PREFIXES: dict[int, str] = {4: "0", 3: "10", 2: "110", 1: "1110"}
+
+
+def bits_to_int(bits) -> int:
+    """Pack a bit sequence (bit 0 first) into an integer."""
+    value = 0
+    for position, bit in enumerate(bits):
+        if bit:
+            value |= 1 << position
+    return value
+
+
+def int_to_bits(value: int, width: int) -> tuple[int, ...]:
+    """Unpack ``value`` into ``width`` bits, bit 0 first."""
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return tuple((value >> position) & 1 for position in range(width))
+
+
+def pattern_to_string(value: int, width: int) -> str:
+    """Render a packed pattern the way the paper writes it (bit 0 leftmost)."""
+    return "".join(str(bit) for bit in int_to_bits(value, width))
+
+
+def string_to_int(pattern: str) -> int:
+    """Parse a pattern string written with bit 0 leftmost."""
+    if any(ch not in "01" for ch in pattern):
+        raise ValueError(f"pattern string must be binary, got {pattern!r}")
+    return bits_to_int(int(ch) for ch in pattern)
+
+
+def popcount(value: int | np.ndarray) -> int | np.ndarray:
+    """Number of set bits of an integer or integer array."""
+    if isinstance(value, np.ndarray):
+        result = np.zeros_like(value)
+        work = value.copy()
+        while np.any(work):
+            result += work & 1
+            work >>= 1
+        return result
+    return int(bin(int(value)).count("1"))
+
+
+def eraser_flags_pattern(value: int, width: int) -> bool:
+    """ERASER's heuristic: flag a pattern when at least half of its bits flip."""
+    if width <= 0:
+        return False
+    return 2 * popcount(value) >= width
+
+
+def count_eraser_patterns(width: int) -> int:
+    """Number of ``width``-bit patterns ERASER flags as leakage.
+
+    For 4-bit surface-code patterns this is 11/16 and for 3-bit colour-code
+    patterns 4/8, the counts quoted in Sections 4.1 and 5.2 of the paper.
+    """
+    return sum(1 for value in range(1 << width) if eraser_flags_pattern(value, width))
+
+
+def tag_pattern(value: int, width: int) -> int:
+    """Encode a pattern into the uniform 5-bit tagged representation.
+
+    The tag prefix occupies the most-significant bits (``x4 x3 ...`` in the
+    paper's notation) and the pattern itself the least-significant bits.
+    """
+    if width not in TAG_PREFIXES:
+        raise ValueError(f"no index tag defined for width {width}")
+    prefix = TAG_PREFIXES[width]
+    tagged = value
+    for offset, char in enumerate(reversed(prefix)):
+        if char == "1":
+            tagged |= 1 << (width + offset)
+    return tagged
+
+
+def untag_pattern(tagged: int) -> tuple[int, int]:
+    """Decode a 5-bit tagged pattern back into ``(value, width)``."""
+    for width, prefix in TAG_PREFIXES.items():
+        prefix_bits = tag_pattern(0, width)
+        mask = ((1 << (width + len(prefix))) - 1) ^ ((1 << width) - 1)
+        if (tagged & mask) == prefix_bits and tagged < (1 << (width + len(prefix))):
+            return tagged & ((1 << width) - 1), width
+    raise ValueError(f"tagged value {tagged} does not match any known prefix")

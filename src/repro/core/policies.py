@@ -1,0 +1,186 @@
+"""Open-loop and reference leakage-mitigation policies, plus the policy registry.
+
+These are the baselines the paper compares against (Sections 3 and 7):
+
+* ``no-lrc``      — never apply an LRC (shows unmitigated leakage accumulation),
+* ``always``      — Always-LRC: every qubit gets an LRC every round,
+* ``staggered``   — Staggered Always-LRC (Section 3.5): the data qubits are
+  partitioned by a proper colouring of the interaction graph and one colour
+  group is reset per round, round-robin,
+* ``mlr-only``    — use only multi-level readout on the parity qubits,
+* ``ideal``       — an oracle with perfect knowledge of which data qubits are
+  leaked (the IDEAL curves in Figures 1(c) and 10).
+
+Closed-loop policies (ERASER and the GLADIATOR family) live in their own
+modules; :func:`make_policy` builds any of them by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..codes.base import StabilizerCode
+from ..noise import NoiseParams
+from .eraser import EraserMPolicy, EraserPolicy
+from .gladiator import GladiatorMPolicy, GladiatorPolicy
+from .gladiator_d import GladiatorDMPolicy, GladiatorDPolicy
+from .graph_model import GraphModelConfig
+from .speculator import LeakagePolicy, PolicyDecision, SpeculationInput
+
+__all__ = [
+    "NoLrcPolicy",
+    "AlwaysLrcPolicy",
+    "StaggeredLrcPolicy",
+    "MlrOnlyPolicy",
+    "OraclePolicy",
+    "make_policy",
+    "POLICY_NAMES",
+]
+
+
+@dataclass
+class NoLrcPolicy(LeakagePolicy):
+    """Never apply leakage reduction; leakage accumulates unchecked."""
+
+    name: str = "no-lrc"
+
+    def decide(self, ctx: SpeculationInput) -> PolicyDecision:
+        shots = ctx.pattern_ints.shape[0]
+        return PolicyDecision(
+            data_lrc=np.zeros((shots, self.code.num_data), dtype=bool)
+        )
+
+
+@dataclass
+class AlwaysLrcPolicy(LeakagePolicy):
+    """Open-loop Always-LRC: reset every qubit every round."""
+
+    name: str = "always-lrc"
+    include_ancillas: bool = True
+
+    def decide(self, ctx: SpeculationInput) -> PolicyDecision:
+        shots = ctx.pattern_ints.shape[0]
+        ancilla = (
+            np.ones((shots, self.code.num_ancilla), dtype=bool)
+            if self.include_ancillas
+            else None
+        )
+        return PolicyDecision(
+            data_lrc=np.ones((shots, self.code.num_data), dtype=bool),
+            ancilla_lrc=ancilla,
+        )
+
+
+@dataclass
+class StaggeredLrcPolicy(LeakagePolicy):
+    """Staggered Always-LRC: reset one interaction-graph colour group per round."""
+
+    name: str = "staggered"
+    include_ancillas: bool = True
+
+    def prepare(self, code: StabilizerCode, noise: NoiseParams) -> None:
+        super().prepare(code, noise)
+        coloring = np.asarray(code.data_coloring, dtype=np.int64)
+        self._num_groups = int(coloring.max()) + 1 if coloring.size else 1
+        self._group_masks = [
+            coloring == group for group in range(self._num_groups)
+        ]
+        ancilla_indices = np.arange(code.num_ancilla)
+        self._ancilla_masks = [
+            (ancilla_indices % self._num_groups) == group
+            for group in range(self._num_groups)
+        ]
+
+    def decide(self, ctx: SpeculationInput) -> PolicyDecision:
+        shots = ctx.pattern_ints.shape[0]
+        group = ctx.round_index % self._num_groups
+        data_lrc = np.broadcast_to(
+            self._group_masks[group], (shots, self.code.num_data)
+        ).copy()
+        ancilla_lrc = None
+        if self.include_ancillas:
+            ancilla_lrc = np.broadcast_to(
+                self._ancilla_masks[group], (shots, self.code.num_ancilla)
+            ).copy()
+        return PolicyDecision(data_lrc=data_lrc, ancilla_lrc=ancilla_lrc)
+
+    @property
+    def num_groups(self) -> int:
+        """Number of colour groups in the round-robin schedule."""
+        return self._num_groups
+
+
+@dataclass
+class MlrOnlyPolicy(LeakagePolicy):
+    """Use only multi-level readout: treat data qubits next to MLR-flagged ancillas."""
+
+    name: str = "mlr-only"
+    uses_mlr: bool = True
+
+    def decide(self, ctx: SpeculationInput) -> PolicyDecision:
+        shots = ctx.pattern_ints.shape[0]
+        if ctx.mlr_neighbor is None:
+            data_lrc = np.zeros((shots, self.code.num_data), dtype=bool)
+        else:
+            data_lrc = ctx.mlr_neighbor.copy()
+        return PolicyDecision(data_lrc=data_lrc)
+
+
+@dataclass
+class OraclePolicy(LeakagePolicy):
+    """IDEAL reference: perfect, instantaneous knowledge of leaked data qubits.
+
+    Parity-qubit leakage is handled by multi-level readout, as in the paper's
+    IDEAL curves, so the oracle isolates the quality of data-qubit speculation.
+    """
+
+    name: str = "ideal"
+    is_oracle: bool = True
+    uses_mlr: bool = True
+
+    def decide(self, ctx: SpeculationInput) -> PolicyDecision:
+        return PolicyDecision(data_lrc=ctx.data_leaked.copy())
+
+
+POLICY_NAMES = (
+    "no-lrc",
+    "always-lrc",
+    "staggered",
+    "mlr-only",
+    "ideal",
+    "eraser",
+    "eraser+m",
+    "gladiator",
+    "gladiator+m",
+    "gladiator-d",
+    "gladiator-d+m",
+)
+
+
+def make_policy(
+    name: str,
+    config: GraphModelConfig | None = None,
+    **kwargs,
+) -> LeakagePolicy:
+    """Build a policy by its canonical name (see :data:`POLICY_NAMES`)."""
+    key = name.lower().replace("_", "-")
+    gladiator_config = config or GraphModelConfig()
+    registry = {
+        "no-lrc": lambda: NoLrcPolicy(**kwargs),
+        "always-lrc": lambda: AlwaysLrcPolicy(**kwargs),
+        "always": lambda: AlwaysLrcPolicy(**kwargs),
+        "staggered": lambda: StaggeredLrcPolicy(**kwargs),
+        "mlr-only": lambda: MlrOnlyPolicy(**kwargs),
+        "ideal": lambda: OraclePolicy(**kwargs),
+        "eraser": lambda: EraserPolicy(**kwargs),
+        "eraser+m": lambda: EraserMPolicy(**kwargs),
+        "gladiator": lambda: GladiatorPolicy(config=gladiator_config, **kwargs),
+        "gladiator+m": lambda: GladiatorMPolicy(config=gladiator_config, **kwargs),
+        "gladiator-d": lambda: GladiatorDPolicy(config=gladiator_config, **kwargs),
+        "gladiator-d+m": lambda: GladiatorDMPolicy(config=gladiator_config, **kwargs),
+    }
+    if key not in registry:
+        raise ValueError(f"unknown policy {name!r}; known: {sorted(registry)}")
+    return registry[key]()

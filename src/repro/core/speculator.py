@@ -1,0 +1,164 @@
+"""Policy interface shared by all leakage-mitigation strategies.
+
+A policy inspects the per-data-qubit syndrome patterns produced by one QEC
+round (plus, optionally, the previous round and the multi-level-readout
+flags) and decides which qubits receive a Leakage Reduction Circuit in the
+next round.  Open-loop policies ignore the syndrome inputs entirely;
+closed-loop policies (ERASER, GLADIATOR, ...) are table lookups from the
+pattern to a flag, which is what makes them implementable in a few LUTs of
+combinational logic (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..codes.base import StabilizerCode
+from ..noise import NoiseParams
+
+__all__ = ["SpeculationInput", "PolicyDecision", "LeakagePolicy", "LookupPolicy"]
+
+
+@dataclass
+class SpeculationInput:
+    """Everything a policy may look at when making its per-round decision.
+
+    Attributes
+    ----------
+    round_index:
+        Zero-based index of the QEC round that just completed.
+    pattern_ints:
+        ``(shots, num_data)`` packed per-data-qubit detector-flip patterns
+        for the current round (bit 0 = earliest adjacent CNOT).
+    prev_pattern_ints:
+        Same, for the previous round (all zeros in round 0); consumed by the
+        deferred GLADIATOR-D speculator.
+    detectors:
+        ``(shots, num_ancilla)`` raw detector flips of the current round.
+    mlr_flags:
+        ``(shots, num_ancilla)`` multi-level-readout leakage flags, or
+        ``None`` when the policy does not use MLR.
+    mlr_neighbor:
+        ``(shots, num_data)`` OR of the MLR flags of each data qubit's
+        adjacent ancillas (``None`` without MLR).
+    data_leaked:
+        ``(shots, num_data)`` ground-truth leakage state.  Only the IDEAL
+        oracle policy may read this; it exists so the paper's "perfect
+        speculation" reference curves can be reproduced.
+    """
+
+    round_index: int
+    pattern_ints: np.ndarray
+    prev_pattern_ints: np.ndarray
+    detectors: np.ndarray
+    mlr_flags: np.ndarray | None
+    mlr_neighbor: np.ndarray | None
+    data_leaked: np.ndarray
+
+
+@dataclass
+class PolicyDecision:
+    """LRC requests produced by a policy for the next round."""
+
+    data_lrc: np.ndarray
+    ancilla_lrc: np.ndarray | None = None
+
+
+@dataclass
+class LeakagePolicy:
+    """Base class for leakage-mitigation policies.
+
+    Subclasses set the class attributes below and implement :meth:`decide`.
+    ``prepare`` is called once per run with the code and noise model so
+    policies can build their lookup tables offline, mirroring the paper's
+    offline/online split.
+    """
+
+    name: str = "base"
+    uses_mlr: bool = False
+    uses_two_rounds: bool = False
+    is_oracle: bool = False
+
+    def prepare(self, code: StabilizerCode, noise: NoiseParams) -> None:
+        """Offline stage: build whatever tables the policy needs."""
+        self._code = code
+        self._noise = noise
+
+    def decide(self, ctx: SpeculationInput) -> PolicyDecision:
+        """Online stage: map one round's observations to LRC requests."""
+        raise NotImplementedError
+
+    # Convenience for subclasses -------------------------------------------------
+    @property
+    def code(self) -> StabilizerCode:
+        """The code this policy was prepared for."""
+        return self._code
+
+    @property
+    def noise(self) -> NoiseParams:
+        """The noise model this policy was prepared for."""
+        return self._noise
+
+    def describe(self) -> str:
+        """Human-readable policy summary."""
+        suffix = "+M" if self.uses_mlr else ""
+        return f"{self.name}{suffix}"
+
+
+@dataclass
+class LookupPolicy(LeakagePolicy):
+    """Closed-loop policy driven by per-qubit pattern lookup tables.
+
+    Subclasses implement :meth:`flag_table`, returning for each data qubit a
+    boolean table indexed by the packed pattern (or, for two-round policies,
+    by ``prev_pattern * 2**width + pattern``).  ``prepare`` groups qubits by
+    pattern width so the online lookup is a handful of vectorised gathers.
+    """
+
+    trigger_on_mlr_neighbor: bool = False
+    _groups: list[tuple[np.ndarray, np.ndarray]] = field(default_factory=list, repr=False)
+
+    def flag_table(self, qubit: int) -> np.ndarray:
+        """Boolean flag table of one data qubit (size ``2**width`` or ``4**width``)."""
+        raise NotImplementedError
+
+    def prepare(self, code: StabilizerCode, noise: NoiseParams) -> None:
+        super().prepare(code, noise)
+        tables: dict[int, list[tuple[int, np.ndarray]]] = {}
+        for qubit in range(code.num_data):
+            table = np.asarray(self.flag_table(qubit), dtype=bool)
+            tables.setdefault(table.shape[0], []).append((qubit, table))
+        self._groups = []
+        for _, entries in sorted(tables.items()):
+            qubits = np.array([qubit for qubit, _ in entries], dtype=np.int64)
+            stacked = np.stack([table for _, table in entries])
+            self._groups.append((qubits, stacked))
+
+    def _lookup_keys(self, ctx: SpeculationInput) -> np.ndarray:
+        """Packed lookup keys per (shot, data qubit)."""
+        if not self.uses_two_rounds:
+            return ctx.pattern_ints
+        widths = np.asarray(self.code.pattern_widths, dtype=np.int64)
+        return ctx.pattern_ints + (ctx.prev_pattern_ints << widths[np.newaxis, :])
+
+    def decide(self, ctx: SpeculationInput) -> PolicyDecision:
+        keys = self._lookup_keys(ctx)
+        shots = keys.shape[0]
+        data_lrc = np.zeros((shots, self.code.num_data), dtype=bool)
+        for qubits, stacked in self._groups:
+            local_keys = keys[:, qubits]
+            data_lrc[:, qubits] = stacked[np.arange(len(qubits))[np.newaxis, :], local_keys]
+        if self.uses_mlr and self.trigger_on_mlr_neighbor and ctx.mlr_neighbor is not None:
+            data_lrc |= ctx.mlr_neighbor
+        return PolicyDecision(data_lrc=data_lrc)
+
+    def flagged_fraction(self) -> dict[int, float]:
+        """Fraction of patterns flagged, per pattern width (diagnostic)."""
+        fractions: dict[int, list[float]] = {}
+        for qubit in range(self.code.num_data):
+            width = self.code.pattern_width(qubit)
+            table = np.asarray(self.flag_table(qubit), dtype=bool)
+            fractions.setdefault(width, []).append(float(table.mean()))
+        return {width: float(np.mean(values)) for width, values in fractions.items()}

@@ -1,0 +1,16 @@
+"""Decoders for memory experiments (MWPM and union-find)."""
+
+from .detector_graph import DetectorGraph, GraphEdge
+from .matching import MatchingDecoder
+from .union_find import UnionFindDecoder
+
+__all__ = ["DetectorGraph", "GraphEdge", "MatchingDecoder", "UnionFindDecoder"]
+
+
+def make_decoder(graph: DetectorGraph, method: str = "matching"):
+    """Factory: ``"matching"`` for MWPM, ``"union_find"`` for the UF decoder."""
+    if method == "matching":
+        return MatchingDecoder(graph)
+    if method == "union_find":
+        return UnionFindDecoder(graph)
+    raise ValueError(f"unknown decoder method {method!r}")

@@ -1,0 +1,216 @@
+"""Space-time detector graph for matching-based decoding.
+
+For a memory-Z experiment the decoder works on the Z-type detectors: one node
+per (Z stabilizer, round) pair, including the extra layer derived from the
+final transversal data readout.  Edges correspond to single error mechanisms:
+
+* *space-like* edges join the (one or) two Z stabilizers flipped by an X
+  error on a data qubit within one round; data qubits on the X boundary have
+  only one adjacent Z stabilizer and connect to the virtual boundary node,
+* *time-like* edges join the same stabilizer in consecutive rounds
+  (measurement errors).
+
+Every edge records whether the corresponding physical error flips the logical
+observable, so a matching can be converted into a logical-flip prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from ..codes.base import StabilizerCode
+from ..noise import NoiseParams
+
+__all__ = ["DetectorGraph", "GraphEdge"]
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """One edge of the detector graph."""
+
+    node_a: int
+    node_b: int
+    weight: float
+    flips_logical: bool
+    kind: str  # "space", "time" or "boundary"
+
+
+@dataclass
+class DetectorGraph:
+    """Decoding graph of a memory-Z experiment with ``rounds`` QEC rounds."""
+
+    code: StabilizerCode
+    rounds: int
+    noise: NoiseParams = field(default_factory=NoiseParams)
+
+    def __post_init__(self) -> None:
+        self._z_stabs = [s for s in self.code.stabilizers if s.basis == "Z"]
+        if not self._z_stabs:
+            raise ValueError("code has no Z stabilizers; nothing to decode")
+        adjacency: dict[int, list[int]] = {q: [] for q in range(self.code.num_data)}
+        for local, stab in enumerate(self._z_stabs):
+            for qubit in stab.data_support:
+                adjacency[qubit].append(local)
+        too_many = [q for q, stabs in adjacency.items() if len(stabs) > 2]
+        if too_many:
+            raise ValueError(
+                "matching decoder requires each data qubit to touch at most two "
+                f"Z stabilizers; qubits {too_many[:5]} violate this (use a "
+                "different decoder for this code)"
+            )
+        self._data_to_z = adjacency
+
+    # ------------------------------------------------------------------ #
+    # Layout
+    # ------------------------------------------------------------------ #
+    @property
+    def num_z_stabs(self) -> int:
+        """Number of Z stabilizers (detectors per layer)."""
+        return len(self._z_stabs)
+
+    @property
+    def num_layers(self) -> int:
+        """Number of detector layers: one per round plus the final readout layer."""
+        return self.rounds + 1
+
+    @property
+    def num_nodes(self) -> int:
+        """Detector nodes plus the single virtual boundary node."""
+        return self.num_layers * self.num_z_stabs + 1
+
+    @property
+    def boundary_node(self) -> int:
+        """Index of the virtual boundary node."""
+        return self.num_layers * self.num_z_stabs
+
+    def node_index(self, z_local: int, layer: int) -> int:
+        """Node id of detector ``z_local`` in ``layer``."""
+        return layer * self.num_z_stabs + z_local
+
+    # ------------------------------------------------------------------ #
+    # Edges
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def edges(self) -> list[GraphEdge]:
+        """All edges of the space-time decoding graph."""
+        space_error = max(self.noise.p, 1e-12)
+        time_error = max(self.noise.p, 1e-12)
+        space_weight = float(-np.log(space_error))
+        time_weight = float(-np.log(time_error))
+        logical_support = set(np.nonzero(self.code.logical_z)[0].tolist())
+
+        edges: list[GraphEdge] = []
+        for layer in range(self.num_layers):
+            for qubit, stabs in self._data_to_z.items():
+                flips = qubit in logical_support
+                if len(stabs) == 2:
+                    edges.append(
+                        GraphEdge(
+                            node_a=self.node_index(stabs[0], layer),
+                            node_b=self.node_index(stabs[1], layer),
+                            weight=space_weight,
+                            flips_logical=flips,
+                            kind="space",
+                        )
+                    )
+                elif len(stabs) == 1:
+                    edges.append(
+                        GraphEdge(
+                            node_a=self.node_index(stabs[0], layer),
+                            node_b=self.boundary_node,
+                            weight=space_weight,
+                            flips_logical=flips,
+                            kind="boundary",
+                        )
+                    )
+        for layer in range(self.num_layers - 1):
+            for z_local in range(self.num_z_stabs):
+                edges.append(
+                    GraphEdge(
+                        node_a=self.node_index(z_local, layer),
+                        node_b=self.node_index(z_local, layer + 1),
+                        weight=time_weight,
+                        flips_logical=False,
+                        kind="time",
+                    )
+                )
+        return edges
+
+    @cached_property
+    def sparse_weights(self) -> coo_matrix:
+        """Symmetric sparse weight matrix of the graph."""
+        rows, cols, vals = [], [], []
+        for edge in self.edges:
+            rows.extend([edge.node_a, edge.node_b])
+            cols.extend([edge.node_b, edge.node_a])
+            vals.extend([edge.weight, edge.weight])
+        return coo_matrix(
+            (vals, (rows, cols)), shape=(self.num_nodes, self.num_nodes)
+        ).tocsr()
+
+    @cached_property
+    def _edge_lookup(self) -> dict[tuple[int, int], GraphEdge]:
+        lookup: dict[tuple[int, int], GraphEdge] = {}
+        for edge in self.edges:
+            key = (min(edge.node_a, edge.node_b), max(edge.node_a, edge.node_b))
+            existing = lookup.get(key)
+            if existing is None or edge.weight < existing.weight:
+                lookup[key] = edge
+        return lookup
+
+    @cached_property
+    def neighbors(self) -> list[list[int]]:
+        """Adjacency lists (node -> neighbouring nodes)."""
+        adjacency: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for (node_a, node_b) in self._edge_lookup:
+            adjacency[node_a].append(node_b)
+            adjacency[node_b].append(node_a)
+        return adjacency
+
+    def edge_between(self, node_a: int, node_b: int) -> GraphEdge | None:
+        """The edge joining two nodes, or ``None``."""
+        return self._edge_lookup.get((min(node_a, node_b), max(node_a, node_b)))
+
+    # ------------------------------------------------------------------ #
+    # Detector serialisation and shortest paths
+    # ------------------------------------------------------------------ #
+    def flagged_nodes(self, detector_history: np.ndarray, final_detectors: np.ndarray) -> np.ndarray:
+        """Node ids of fired detectors for one shot.
+
+        ``detector_history`` has shape ``(rounds, num_z_stabs)`` and
+        ``final_detectors`` shape ``(num_z_stabs,)``.
+        """
+        layers = np.vstack([detector_history, final_detectors[np.newaxis, :]])
+        flat = layers.reshape(-1)
+        return np.nonzero(flat)[0]
+
+    def shortest_paths_from(
+        self, sources: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dijkstra distances and predecessors from the given source nodes."""
+        distances, predecessors = dijkstra(
+            self.sparse_weights,
+            directed=False,
+            indices=sources,
+            return_predecessors=True,
+        )
+        return distances, predecessors
+
+    def path_logical_parity(self, predecessors_row: np.ndarray, target: int) -> int:
+        """Parity of logical-flipping edges along one shortest-path tree branch."""
+        parity = 0
+        node = target
+        while True:
+            previous = predecessors_row[node]
+            if previous < 0:
+                break
+            edge = self.edge_between(int(previous), int(node))
+            if edge is not None and edge.flips_logical:
+                parity ^= 1
+            node = int(previous)
+        return parity

@@ -1,0 +1,132 @@
+"""Minimum-weight perfect matching decoder.
+
+Standard surface-code decoding: fired detectors are paired up (or matched to
+the boundary) so that the total weight of the connecting error chains is
+minimised; the prediction for the logical observable is the parity of
+logical-crossing edges along the chosen chains.
+
+Exact matching uses the blossom implementation in ``networkx``; because its
+cost grows quickly with the number of fired detectors, large syndromes
+(typically produced by un-mitigated leakage) fall back to a greedy
+nearest-neighbour pairing, which preserves the qualitative behaviour at a
+fraction of the cost.  The same trade-off is configurable via
+``max_exact_nodes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from .detector_graph import DetectorGraph
+
+__all__ = ["MatchingDecoder"]
+
+
+@dataclass
+class MatchingDecoder:
+    """MWPM decoder over a :class:`DetectorGraph`."""
+
+    graph: DetectorGraph
+    max_exact_nodes: int = 60
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def decode_shot(
+        self, detector_history: np.ndarray, final_detectors: np.ndarray
+    ) -> int:
+        """Predict the logical flip (0/1) for one shot."""
+        flagged = self.graph.flagged_nodes(detector_history, final_detectors)
+        if flagged.size == 0:
+            return 0
+        distances, predecessors = self.graph.shortest_paths_from(flagged)
+        boundary = self.graph.boundary_node
+        if flagged.size <= self.max_exact_nodes:
+            pairs = self._exact_matching(flagged, distances, boundary)
+        else:
+            pairs = self._greedy_matching(flagged, distances, boundary)
+        parity = 0
+        index_of = {int(node): i for i, node in enumerate(flagged)}
+        for node_a, node_b in pairs:
+            source_row = predecessors[index_of[node_a]]
+            parity ^= self.graph.path_logical_parity(source_row, node_b)
+        return parity
+
+    def decode_batch(
+        self, detector_history: np.ndarray, final_detectors: np.ndarray
+    ) -> np.ndarray:
+        """Predict logical flips for a batch of shots.
+
+        ``detector_history`` has shape ``(shots, rounds, num_z_stabs)`` and
+        ``final_detectors`` shape ``(shots, num_z_stabs)``.
+        """
+        shots = detector_history.shape[0]
+        predictions = np.zeros(shots, dtype=bool)
+        for shot in range(shots):
+            predictions[shot] = bool(
+                self.decode_shot(detector_history[shot], final_detectors[shot])
+            )
+        return predictions
+
+    # ------------------------------------------------------------------ #
+    # Matching strategies
+    # ------------------------------------------------------------------ #
+    def _exact_matching(
+        self, flagged: np.ndarray, distances: np.ndarray, boundary: int
+    ) -> list[tuple[int, int]]:
+        """Exact MWPM with per-detector virtual boundary copies."""
+        count = flagged.size
+        graph = nx.Graph()
+        large = 1e9
+        for i in range(count):
+            for j in range(i + 1, count):
+                weight = distances[i, int(flagged[j])]
+                graph.add_edge(("d", i), ("d", j), weight=large - weight)
+            boundary_weight = distances[i, boundary]
+            graph.add_edge(("d", i), ("b", i), weight=large - boundary_weight)
+        for i in range(count):
+            for j in range(i + 1, count):
+                graph.add_edge(("b", i), ("b", j), weight=large)
+        matching = nx.max_weight_matching(graph, maxcardinality=True)
+        pairs: list[tuple[int, int]] = []
+        for left, right in matching:
+            kinds = {left[0], right[0]}
+            if kinds == {"d"}:
+                pairs.append((int(flagged[left[1]]), int(flagged[right[1]])))
+            elif kinds == {"d", "b"}:
+                detector = left if left[0] == "d" else right
+                pairs.append((int(flagged[detector[1]]), boundary))
+        return pairs
+
+    def _greedy_matching(
+        self, flagged: np.ndarray, distances: np.ndarray, boundary: int
+    ) -> list[tuple[int, int]]:
+        """Greedy nearest-neighbour pairing used for very large syndromes."""
+        count = flagged.size
+        unmatched = set(range(count))
+        # Candidate pairings sorted by distance, plus boundary options.
+        candidates: list[tuple[float, int, int]] = []
+        for i in range(count):
+            for j in range(i + 1, count):
+                candidates.append((float(distances[i, int(flagged[j])]), i, j))
+            candidates.append((float(distances[i, boundary]), i, -1))
+        candidates.sort(key=lambda item: item[0])
+        pairs: list[tuple[int, int]] = []
+        for _, i, j in candidates:
+            if i not in unmatched:
+                continue
+            if j == -1:
+                pairs.append((int(flagged[i]), boundary))
+                unmatched.discard(i)
+            elif j in unmatched:
+                pairs.append((int(flagged[i]), int(flagged[j])))
+                unmatched.discard(i)
+                unmatched.discard(j)
+            if not unmatched:
+                break
+        for i in list(unmatched):
+            pairs.append((int(flagged[i]), boundary))
+        return pairs

@@ -1,0 +1,186 @@
+"""Logical memory experiments: simulate, decode, and report LER.
+
+A memory-Z experiment prepares the logical ``|0>`` state, runs ``rounds`` of
+syndrome extraction under the leakage noise model with a chosen mitigation
+policy, measures all data qubits, decodes the Z-detector record and checks
+whether the corrected logical observable flipped.  This is the workload
+behind the paper's logical-error-rate figures (4(b), 12 and 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuits.lrc import LrcGadget, default_lrc
+from ..codes.base import StabilizerCode
+from ..core.speculator import LeakagePolicy
+from ..decoders import DetectorGraph, make_decoder
+from ..noise import NoiseParams
+from ..sim import LeakageSimulator, RunResult, SimulatorOptions
+from .metrics import (
+    leakage_equilibrium,
+    logical_error_rate,
+    per_round_logical_error_rate,
+    wilson_interval,
+)
+
+__all__ = ["MemoryResult", "MemoryExperiment"]
+
+
+@dataclass
+class MemoryResult:
+    """Aggregated outcome of a decoded memory experiment."""
+
+    code_name: str
+    policy_name: str
+    shots: int
+    rounds: int
+    failures: int
+    dlp_per_round: np.ndarray
+    lrcs_per_round: float
+    false_positives_per_round: float
+    false_negatives_per_round: float
+    total_leakage_events: int
+    final_dlp: float
+
+    @property
+    def logical_error_rate(self) -> float:
+        """Whole-experiment logical error rate."""
+        return logical_error_rate(self.failures, self.shots)
+
+    @property
+    def logical_error_rate_interval(self) -> tuple[float, float]:
+        """95% Wilson confidence interval of the LER."""
+        return wilson_interval(self.failures, self.shots)
+
+    @property
+    def per_round_logical_error_rate(self) -> float:
+        """Equivalent per-round logical error rate."""
+        return per_round_logical_error_rate(self.logical_error_rate, self.rounds)
+
+    @property
+    def mean_dlp(self) -> float:
+        """Average data-leakage population across the run."""
+        return float(self.dlp_per_round.mean()) if self.dlp_per_round.size else 0.0
+
+    @property
+    def leakage_equilibrium(self) -> float:
+        """Steady-state data-leakage population (trailing-rounds average)."""
+        return leakage_equilibrium(self.dlp_per_round)
+
+    @property
+    def speculation_inaccuracy(self) -> float:
+        """FP + FN per round per shot."""
+        return self.false_positives_per_round + self.false_negatives_per_round
+
+    def summary(self) -> dict:
+        """Flat dictionary used by the benchmark tables."""
+        low, high = self.logical_error_rate_interval
+        return {
+            "code": self.code_name,
+            "policy": self.policy_name,
+            "shots": self.shots,
+            "rounds": self.rounds,
+            "ler": self.logical_error_rate,
+            "ler_low": low,
+            "ler_high": high,
+            "ler_per_round": self.per_round_logical_error_rate,
+            "mean_dlp": self.mean_dlp,
+            "final_dlp": self.final_dlp,
+            "leakage_equilibrium": self.leakage_equilibrium,
+            "lrcs_per_round": self.lrcs_per_round,
+            "fp_per_round": self.false_positives_per_round,
+            "fn_per_round": self.false_negatives_per_round,
+            "speculation_inaccuracy": self.speculation_inaccuracy,
+            "total_leakage_events": self.total_leakage_events,
+        }
+
+
+@dataclass
+class MemoryExperiment:
+    """Run a decoded memory experiment for one (code, noise, policy) triple."""
+
+    code: StabilizerCode
+    noise: NoiseParams
+    policy: LeakagePolicy
+    decoder_method: str = "matching"
+    gadget: LrcGadget = field(default_factory=default_lrc)
+    leakage_sampling: bool = False
+    seed: int = 0
+
+    def run(self, shots: int, rounds: int, batch_size: int = 250) -> MemoryResult:
+        """Simulate ``shots`` shots (in batches) and decode every one of them."""
+        if shots <= 0 or rounds <= 0:
+            raise ValueError("shots and rounds must be positive")
+        graph = DetectorGraph(code=self.code, rounds=rounds, noise=self.noise)
+        decoder = make_decoder(graph, self.decoder_method)
+
+        failures = 0
+        dlp_accumulator = np.zeros(rounds)
+        totals = {
+            "lrc": 0,
+            "fp": 0,
+            "fn": 0,
+            "leak_events": 0,
+            "final_leaked": 0.0,
+        }
+        remaining = shots
+        batch_index = 0
+        while remaining > 0:
+            batch = min(batch_size, remaining)
+            result = self._run_batch(batch, rounds, seed_offset=batch_index)
+            predictions = decoder.decode_batch(
+                result.detector_history, result.final_detectors
+            )
+            failures += int((predictions ^ result.observable_flips).sum())
+            dlp_accumulator += result.dlp_per_round * batch
+            totals["lrc"] += result.total_data_lrcs
+            totals["fp"] += result.total_false_positives
+            totals["fn"] += result.total_false_negatives
+            totals["leak_events"] += result.total_leakage_events
+            totals["final_leaked"] += result.final_dlp * batch
+            remaining -= batch
+            batch_index += 1
+
+        return MemoryResult(
+            code_name=self.code.name,
+            policy_name=self.policy.describe(),
+            shots=shots,
+            rounds=rounds,
+            failures=failures,
+            dlp_per_round=dlp_accumulator / shots,
+            lrcs_per_round=totals["lrc"] / (shots * rounds),
+            false_positives_per_round=totals["fp"] / (shots * rounds),
+            false_negatives_per_round=totals["fn"] / (shots * rounds),
+            total_leakage_events=totals["leak_events"],
+            final_dlp=totals["final_leaked"] / shots,
+        )
+
+    def run_undecoded(self, shots: int, rounds: int) -> RunResult:
+        """Run the simulator without decoding (leakage-population studies)."""
+        simulator = LeakageSimulator(
+            code=self.code,
+            noise=self.noise,
+            policy=self.policy,
+            gadget=self.gadget,
+            options=SimulatorOptions(
+                leakage_sampling=self.leakage_sampling, record_detectors=False
+            ),
+            seed=self.seed,
+        )
+        return simulator.run(shots=shots, rounds=rounds)
+
+    def _run_batch(self, shots: int, rounds: int, seed_offset: int) -> RunResult:
+        simulator = LeakageSimulator(
+            code=self.code,
+            noise=self.noise,
+            policy=self.policy,
+            gadget=self.gadget,
+            options=SimulatorOptions(
+                leakage_sampling=self.leakage_sampling, record_detectors=True
+            ),
+            seed=self.seed + 1009 * seed_offset,
+        )
+        return simulator.run(shots=shots, rounds=rounds)

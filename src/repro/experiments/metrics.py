@@ -1,0 +1,102 @@
+"""Evaluation metrics used throughout Section 7 of the paper.
+
+All metrics operate on plain numbers or NumPy arrays so they can be reused by
+the benchmark harness, the test suite and user code alike.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "logical_error_rate",
+    "wilson_interval",
+    "per_round_logical_error_rate",
+    "suppression_factor",
+    "average_suppression_factor",
+    "leakage_equilibrium",
+    "reduction_factor",
+    "speculation_inaccuracy",
+]
+
+
+def logical_error_rate(failures: int, shots: int) -> float:
+    """Fraction of shots that ended in a logical error."""
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    return failures / shots
+
+
+def wilson_interval(failures: int, shots: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion."""
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    proportion = failures / shots
+    denominator = 1 + z * z / shots
+    centre = (proportion + z * z / (2 * shots)) / denominator
+    margin = (
+        z
+        * math.sqrt(proportion * (1 - proportion) / shots + z * z / (4 * shots * shots))
+        / denominator
+    )
+    return max(0.0, centre - margin), min(1.0, centre + margin)
+
+
+def per_round_logical_error_rate(total_ler: float, rounds: int) -> float:
+    """Convert a whole-experiment LER into an equivalent per-round error rate.
+
+    Uses the standard "independent rounds" inversion
+    ``1 - (1 - 2 * LER) ** (1 / rounds)) / 2`` which accounts for error
+    cancellation over many rounds; falls back to a simple division for tiny
+    rates.
+    """
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    clipped = min(max(total_ler, 0.0), 0.5)
+    if clipped >= 0.5:
+        return 0.5
+    return 0.5 * (1.0 - (1.0 - 2.0 * clipped) ** (1.0 / rounds))
+
+
+def suppression_factor(ler_small_distance: float, ler_large_distance: float) -> float:
+    """Error-suppression factor ``Lambda = eps_d / eps_{d+2}``."""
+    if ler_large_distance <= 0:
+        return math.inf
+    return ler_small_distance / ler_large_distance
+
+
+def average_suppression_factor(lers_by_distance: dict[int, float]) -> float:
+    """Geometric-mean suppression factor over consecutive distances."""
+    distances = sorted(lers_by_distance)
+    factors = []
+    for small, large in zip(distances, distances[1:]):
+        factors.append(suppression_factor(lers_by_distance[small], lers_by_distance[large]))
+    finite = [f for f in factors if math.isfinite(f) and f > 0]
+    if not finite:
+        return math.inf
+    return float(np.exp(np.mean(np.log(finite))))
+
+
+def leakage_equilibrium(dlp_per_round: np.ndarray, tail_fraction: float = 0.25) -> float:
+    """Steady-state data-leakage population: the mean over the trailing rounds."""
+    dlp_per_round = np.asarray(dlp_per_round, dtype=float)
+    if dlp_per_round.size == 0:
+        return 0.0
+    if not 0 < tail_fraction <= 1:
+        raise ValueError("tail_fraction must lie in (0, 1]")
+    tail = max(1, int(round(tail_fraction * dlp_per_round.size)))
+    return float(dlp_per_round[-tail:].mean())
+
+
+def reduction_factor(baseline: float, improved: float) -> float:
+    """How many times smaller ``improved`` is than ``baseline`` (paper's "x" factors)."""
+    if improved <= 0:
+        return math.inf
+    return baseline / improved
+
+
+def speculation_inaccuracy(false_positives: float, false_negatives: float) -> float:
+    """Combined FP + FN rate (Table 4's speculation-inaccuracy metric)."""
+    return false_positives + false_negatives

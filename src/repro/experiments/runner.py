@@ -1,0 +1,218 @@
+"""Parameter sweeps and policy comparisons used by the benchmark harness.
+
+Every figure and table of the paper is some sweep over (code, distance,
+physical error rate, leakage ratio, policy); this module provides those
+sweeps as plain functions returning lists of summary dictionaries, plus the
+``REPRO_SCALE`` environment knob that switches between quick (CI-sized) and
+paper-sized workloads.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..codes import bpc_code, color_code, hypergraph_product_code, surface_code
+from ..codes.base import StabilizerCode
+from ..core import make_policy
+from ..core.graph_model import GraphModelConfig
+from ..noise import NoiseParams, paper_noise
+from ..sim import LeakageSimulator, SimulatorOptions
+from .memory import MemoryExperiment
+
+__all__ = [
+    "ScaleConfig",
+    "current_scale",
+    "make_code",
+    "compare_policies",
+    "compare_policies_decoded",
+    "sweep_distances",
+    "sweep_error_rates",
+]
+
+_SCALE_PRESETS = {
+    # (shot multiplier, round multiplier, decoded-shot multiplier)
+    "smoke": (0.1, 0.25, 0.1),
+    "quick": (1.0, 1.0, 1.0),
+    "paper": (10.0, 4.0, 10.0),
+}
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Workload scaling selected through the ``REPRO_SCALE`` environment variable."""
+
+    name: str
+    shot_multiplier: float
+    round_multiplier: float
+    decoded_shot_multiplier: float
+
+    def shots(self, base: int) -> int:
+        """Scaled number of (undecoded) shots."""
+        return max(10, int(round(base * self.shot_multiplier)))
+
+    def decoded_shots(self, base: int) -> int:
+        """Scaled number of decoded shots (decoding dominates wall-clock)."""
+        return max(10, int(round(base * self.decoded_shot_multiplier)))
+
+    def rounds(self, base: int) -> int:
+        """Scaled number of QEC rounds."""
+        return max(5, int(round(base * self.round_multiplier)))
+
+
+def current_scale() -> ScaleConfig:
+    """Read the active scale preset from ``REPRO_SCALE`` (default: ``quick``)."""
+    name = os.environ.get("REPRO_SCALE", "quick").lower()
+    if name not in _SCALE_PRESETS:
+        raise ValueError(f"REPRO_SCALE must be one of {sorted(_SCALE_PRESETS)}, got {name!r}")
+    shot_mult, round_mult, decoded_mult = _SCALE_PRESETS[name]
+    return ScaleConfig(
+        name=name,
+        shot_multiplier=shot_mult,
+        round_multiplier=round_mult,
+        decoded_shot_multiplier=decoded_mult,
+    )
+
+
+def make_code(family: str, distance: int | None = None) -> StabilizerCode:
+    """Construct a code by family name (``surface``, ``color``, ``hgp``, ``bpc``)."""
+    family = family.lower()
+    if family == "surface":
+        return surface_code(distance or 7)
+    if family == "color":
+        return color_code(distance or 7)
+    if family == "hgp":
+        return hypergraph_product_code()
+    if family == "bpc":
+        return bpc_code()
+    raise ValueError(f"unknown code family {family!r}")
+
+
+def compare_policies(
+    code: StabilizerCode,
+    noise: NoiseParams,
+    policy_names: list[str],
+    shots: int,
+    rounds: int,
+    seed: int = 0,
+    leakage_sampling: bool = True,
+    policy_config: GraphModelConfig | None = None,
+) -> list[dict]:
+    """Undecoded comparison: leakage population, LRC usage and FP/FN rates."""
+    summaries = []
+    for policy_name in policy_names:
+        policy = make_policy(policy_name, config=policy_config)
+        simulator = LeakageSimulator(
+            code=code,
+            noise=noise,
+            policy=policy,
+            options=SimulatorOptions(leakage_sampling=leakage_sampling),
+            seed=seed,
+        )
+        result = simulator.run(shots=shots, rounds=rounds)
+        summary = result.summary()
+        summary["code"] = code.name
+        summary["dlp_per_round"] = result.dlp_per_round
+        summaries.append(summary)
+    return summaries
+
+
+def compare_policies_decoded(
+    code: StabilizerCode,
+    noise: NoiseParams,
+    policy_names: list[str],
+    shots: int,
+    rounds: int,
+    seed: int = 0,
+    leakage_sampling: bool = False,
+    policy_config: GraphModelConfig | None = None,
+    decoder_method: str = "matching",
+) -> list[dict]:
+    """Decoded comparison: logical error rate plus the undecoded metrics."""
+    summaries = []
+    for policy_name in policy_names:
+        policy = make_policy(policy_name, config=policy_config)
+        experiment = MemoryExperiment(
+            code=code,
+            noise=noise,
+            policy=policy,
+            decoder_method=decoder_method,
+            leakage_sampling=leakage_sampling,
+            seed=seed,
+        )
+        result = experiment.run(shots=shots, rounds=rounds)
+        summaries.append(result.summary())
+    return summaries
+
+
+def sweep_distances(
+    distances: list[int],
+    noise: NoiseParams,
+    policy_names: list[str],
+    shots: int,
+    rounds_per_distance,
+    family: str = "surface",
+    decoded: bool = True,
+    seed: int = 0,
+    leakage_sampling: bool = False,
+) -> list[dict]:
+    """Run a policy comparison for every code distance in ``distances``.
+
+    ``rounds_per_distance`` is either an integer or a callable mapping the
+    distance to the number of rounds (the paper uses ``10 d`` for LER studies
+    and ``100 d`` for leakage-population studies).
+    """
+    summaries = []
+    for distance in distances:
+        code = make_code(family, distance)
+        rounds = (
+            rounds_per_distance(distance)
+            if callable(rounds_per_distance)
+            else int(rounds_per_distance)
+        )
+        runner = compare_policies_decoded if decoded else compare_policies
+        for summary in runner(
+            code,
+            noise,
+            policy_names,
+            shots=shots,
+            rounds=rounds,
+            seed=seed,
+            leakage_sampling=leakage_sampling,
+        ):
+            summary["distance"] = distance
+            summaries.append(summary)
+    return summaries
+
+
+def sweep_error_rates(
+    error_rates: list[float],
+    leakage_ratio: float,
+    policy_names: list[str],
+    shots: int,
+    rounds: int,
+    distance: int = 7,
+    family: str = "surface",
+    decoded: bool = False,
+    seed: int = 0,
+    leakage_sampling: bool = True,
+) -> list[dict]:
+    """Run a policy comparison for every physical error rate in ``error_rates``."""
+    summaries = []
+    code = make_code(family, distance)
+    for p in error_rates:
+        noise = paper_noise(p=p, leakage_ratio=leakage_ratio)
+        runner = compare_policies_decoded if decoded else compare_policies
+        for summary in runner(
+            code,
+            noise,
+            policy_names,
+            shots=shots,
+            rounds=rounds,
+            seed=seed,
+            leakage_sampling=leakage_sampling,
+        ):
+            summary["p"] = p
+            summary["leakage_ratio"] = leakage_ratio
+            summaries.append(summary)
+    return summaries

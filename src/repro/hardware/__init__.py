@@ -1,0 +1,31 @@
+"""Hardware cost models: FPGA resources and the speculation microarchitecture."""
+
+from .fpga import (
+    ERASER_TABLE3_LUTS,
+    FpgaReport,
+    eraser_luts,
+    gladiator_luts,
+    lut_reduction_factor,
+    luts_for_expression,
+    resource_report,
+)
+from .microarchitecture import (
+    DataParityAdjacencyGenerator,
+    GladiatorMicroarchitecture,
+    LrcScheduler,
+    SequenceChecker,
+)
+
+__all__ = [
+    "gladiator_luts",
+    "eraser_luts",
+    "lut_reduction_factor",
+    "luts_for_expression",
+    "resource_report",
+    "FpgaReport",
+    "ERASER_TABLE3_LUTS",
+    "DataParityAdjacencyGenerator",
+    "SequenceChecker",
+    "LrcScheduler",
+    "GladiatorMicroarchitecture",
+]

@@ -1,0 +1,15 @@
+"""Result persistence and plain-text table rendering."""
+
+from .results import ResultRecord, load_records, results_dir, save_records
+from .tables import banner, format_series, format_table, format_value
+
+__all__ = [
+    "ResultRecord",
+    "save_records",
+    "load_records",
+    "results_dir",
+    "format_table",
+    "format_series",
+    "format_value",
+    "banner",
+]

@@ -1,0 +1,86 @@
+"""Result records: saving and loading benchmark outputs.
+
+Benchmarks write their summary rows as JSON so the tables and figures can be
+regenerated or compared across runs without re-simulating; the helpers here
+keep that serialisation in one place and NumPy-safe.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, is_dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ResultRecord", "save_records", "load_records", "results_dir"]
+
+#: Default location for benchmark outputs, relative to the repository root.
+DEFAULT_RESULTS_DIR = "results"
+
+
+def results_dir(base: str | Path | None = None) -> Path:
+    """Return (and create) the directory benchmark results are written to."""
+    path = Path(base) if base is not None else Path(DEFAULT_RESULTS_DIR)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+@dataclass
+class ResultRecord:
+    """One named experiment result: an identifier plus arbitrary summary fields."""
+
+    experiment: str
+    parameters: dict[str, Any]
+    metrics: dict[str, Any]
+
+    def flat(self) -> dict[str, Any]:
+        """Single flat dictionary (parameters and metrics merged)."""
+        return {"experiment": self.experiment, **self.parameters, **self.metrics}
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert NumPy scalars/arrays and dataclasses into JSON-serialisable values."""
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if is_dataclass(value) and not isinstance(value, type):
+        return {key: _jsonable(item) for key, item in asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+def save_records(records: list[ResultRecord], path: str | Path) -> Path:
+    """Write a list of result records to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = [
+        {
+            "experiment": record.experiment,
+            "parameters": _jsonable(record.parameters),
+            "metrics": _jsonable(record.metrics),
+        }
+        for record in records
+    ]
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_records(path: str | Path) -> list[ResultRecord]:
+    """Read result records previously written by :func:`save_records`."""
+    payload = json.loads(Path(path).read_text())
+    return [
+        ResultRecord(
+            experiment=entry["experiment"],
+            parameters=entry.get("parameters", {}),
+            metrics=entry.get("metrics", {}),
+        )
+        for entry in payload
+    ]

@@ -1,0 +1,85 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmarks print their reproduced tables and figure series directly to
+stdout in a fixed-width format so the numbers can be compared with the paper
+at a glance (no plotting dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["format_value", "format_table", "format_series", "banner"]
+
+
+def format_value(value: Any, precision: int = 4) -> str:
+    """Render one cell: floats compactly, everything else via ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 1e-3:
+            return f"{value:.{precision - 1}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[dict[str, Any]] | Iterable[Sequence[Any]],
+    headers: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render rows (dicts or sequences) as an aligned fixed-width table."""
+    rows = list(rows)
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if isinstance(rows[0], dict):
+        headers = list(headers) if headers else list(rows[0].keys())
+        body = [[format_value(row.get(h, ""), precision) for h in headers] for row in rows]
+    else:
+        if headers is None:
+            raise ValueError("headers are required when rows are sequences")
+        headers = list(headers)
+        body = [[format_value(cell, precision) for cell in row] for row in rows]
+
+    widths = [len(h) for h in headers]
+    for row in body:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+    x_label: str = "x",
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render one figure's data series as a table with one column per curve."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for index, x in enumerate(x_values):
+        row = [x] + [values[index] for values in series.values()]
+        rows.append(row)
+    return format_table(rows, headers=headers, title=title, precision=precision)
+
+
+def banner(text: str, width: int = 78) -> str:
+    """A separator banner used between benchmark sections."""
+    pad = max(0, width - len(text) - 2)
+    left = pad // 2
+    right = pad - left
+    return f"{'=' * left} {text} {'=' * right}"

@@ -1,0 +1,5 @@
+"""Noise model parameters for leakage-aware QEC simulation."""
+
+from .model import NoiseParams, ideal_noise, paper_noise
+
+__all__ = ["NoiseParams", "paper_noise", "ideal_noise"]

@@ -1,0 +1,12 @@
+"""Leakage-aware Pauli-frame simulation of repeated QEC rounds."""
+
+from .simulator import LeakageSimulator, RoundRecord, RunResult, SimulatorOptions
+from .state import SimState
+
+__all__ = [
+    "LeakageSimulator",
+    "SimulatorOptions",
+    "RunResult",
+    "RoundRecord",
+    "SimState",
+]

@@ -1,0 +1,590 @@
+"""Leakage-aware QEC memory simulator.
+
+Executes repeated syndrome-extraction rounds of a CSS code under the
+circuit-level noise model of Section 6 (Pauli noise + leakage injection,
+leaked-qubit CNOT malfunction, leakage transport, multi-level readout) while
+a leakage-mitigation policy decides where to insert Leakage Reduction
+Circuits.  Everything is vectorised over a batch of shots with NumPy, which
+is what makes the paper's 100d-round sweeps tractable in pure Python.
+
+The simulator reports the evaluation metrics of Section 7: data-leakage
+population, LRC usage, false positives/negatives, and (optionally) the full
+detector record needed to decode a memory experiment into a logical error
+rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..circuits.lrc import LrcGadget, default_lrc
+from ..circuits.schedule import RoundSchedule
+from ..codes.base import StabilizerCode
+from ..core.speculator import LeakagePolicy, PolicyDecision, SpeculationInput
+from ..noise import NoiseParams
+from .state import SimState
+
+__all__ = ["SimulatorOptions", "RoundRecord", "RunResult", "LeakageSimulator"]
+
+
+@dataclass(frozen=True)
+class SimulatorOptions:
+    """Run-level switches of the leakage simulator.
+
+    Attributes
+    ----------
+    leakage_sampling:
+        Start every shot with one uniformly chosen leaked data qubit
+        (Section 6, "Scaling Simulations using Leakage Sampling"); this is
+        how the paper makes 100d-round evaluations affordable.
+    record_detectors:
+        Keep the full Z-detector history needed for decoding; disable for
+        long leakage-population sweeps to save memory (the paper's artifact
+        does exactly this by commenting out ``stim::write_table_data``).
+    record_patterns:
+        Keep a histogram of observed speculation patterns, split by whether
+        the data qubit was genuinely leaked (used by the Figure 5 / Figure 8
+        pattern-breakdown benchmarks).
+    """
+
+    leakage_sampling: bool = False
+    record_detectors: bool = False
+    record_patterns: bool = False
+
+
+@dataclass
+class RoundRecord:
+    """Aggregate statistics of one QEC round, averaged over the shot batch."""
+
+    round_index: int
+    data_leakage_population: float
+    ancilla_leakage_population: float
+    lrcs_applied: float
+    false_positives: float
+    false_negatives: float
+    true_positives: float
+
+
+@dataclass
+class RunResult:
+    """Everything produced by one simulator run."""
+
+    code_name: str
+    policy_name: str
+    shots: int
+    rounds: int
+    noise: NoiseParams
+    round_records: list[RoundRecord]
+    total_data_lrcs: int
+    total_ancilla_lrcs: int
+    total_false_positives: int
+    total_false_negatives: int
+    total_true_positives: int
+    total_leakage_events: int
+    final_data_leaked: np.ndarray
+    detector_history: np.ndarray | None = None
+    final_detectors: np.ndarray | None = None
+    observable_flips: np.ndarray | None = None
+    pattern_histogram: dict[int, dict[int, tuple[int, int]]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics (Section 7 of the paper)
+    # ------------------------------------------------------------------ #
+    @property
+    def dlp_per_round(self) -> np.ndarray:
+        """Data-leakage population after each round (fraction of data qubits)."""
+        return np.array([r.data_leakage_population for r in self.round_records])
+
+    @property
+    def mean_dlp(self) -> float:
+        """Average data-leakage population over the whole run."""
+        return float(self.dlp_per_round.mean()) if self.round_records else 0.0
+
+    @property
+    def final_dlp(self) -> float:
+        """Data-leakage population at the end of the run (equilibrium estimate)."""
+        return float(self.final_data_leaked.mean())
+
+    @property
+    def lrcs_per_round(self) -> float:
+        """Average number of data-qubit LRCs applied per round per shot."""
+        if not self.rounds or not self.shots:
+            return 0.0
+        return self.total_data_lrcs / (self.rounds * self.shots)
+
+    @property
+    def false_positives_per_round(self) -> float:
+        """Average unnecessary LRCs per round per shot."""
+        if not self.rounds or not self.shots:
+            return 0.0
+        return self.total_false_positives / (self.rounds * self.shots)
+
+    @property
+    def false_negatives_per_round(self) -> float:
+        """Average undetected leaked data qubits per round per shot."""
+        if not self.rounds or not self.shots:
+            return 0.0
+        return self.total_false_negatives / (self.rounds * self.shots)
+
+    @property
+    def speculation_inaccuracy(self) -> float:
+        """Combined FP + FN rate per round per shot (Table 4)."""
+        return self.false_positives_per_round + self.false_negatives_per_round
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary of headline metrics, convenient for tables."""
+        return {
+            "policy": self.policy_name,
+            "shots": self.shots,
+            "rounds": self.rounds,
+            "mean_dlp": self.mean_dlp,
+            "final_dlp": self.final_dlp,
+            "lrcs_per_round": self.lrcs_per_round,
+            "fp_per_round": self.false_positives_per_round,
+            "fn_per_round": self.false_negatives_per_round,
+            "speculation_inaccuracy": self.speculation_inaccuracy,
+            "total_leakage_events": self.total_leakage_events,
+        }
+
+
+class LeakageSimulator:
+    """Batched leakage-aware simulator of repeated QEC rounds."""
+
+    def __init__(
+        self,
+        code: StabilizerCode,
+        noise: NoiseParams,
+        policy: LeakagePolicy,
+        gadget: LrcGadget | None = None,
+        options: SimulatorOptions | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.code = code
+        self.noise = noise
+        self.policy = policy
+        self.gadget = gadget or default_lrc()
+        self.options = options or SimulatorOptions()
+        self.rng = np.random.default_rng(seed)
+        self.schedule = RoundSchedule(code)
+        self.schedule.validate()
+        self.policy.prepare(code, noise)
+        self._build_gather_structures()
+
+    # ------------------------------------------------------------------ #
+    # Precomputed index structures
+    # ------------------------------------------------------------------ #
+    def _build_gather_structures(self) -> None:
+        code = self.code
+        # Per entangling layer: ancilla / data indices and basis flags.
+        self._slot_anc: list[np.ndarray] = []
+        self._slot_data: list[np.ndarray] = []
+        self._slot_is_z: list[np.ndarray] = []
+        for layer in self.schedule.slots:
+            self._slot_anc.append(np.array([op.stabilizer for op in layer], dtype=np.int64))
+            self._slot_data.append(np.array([op.data_qubit for op in layer], dtype=np.int64))
+            self._slot_is_z.append(np.array([op.basis == "Z" for op in layer], dtype=bool))
+        # Basis flag per ancilla (True for Z-type stabilizers).
+        self._anc_is_z = np.array([s.basis == "Z" for s in code.stabilizers], dtype=bool)
+        self._z_stab_indices = np.array(
+            [s.index for s in code.stabilizers if s.basis == "Z"], dtype=np.int64
+        )
+        # Speculation-pattern gather structure: for every bit position and
+        # group size, the data qubits having such a group and the ancillas in it.
+        self._max_width = max(code.pattern_widths)
+        gather: dict[tuple[int, int], tuple[list[int], list[tuple[int, ...]]]] = {}
+        for qubit, groups in enumerate(code.speculation_groups):
+            for position, group in enumerate(groups):
+                key = (position, len(group.stabilizers))
+                gather.setdefault(key, ([], []))[0].append(qubit)
+                gather[key][1].append(group.stabilizers)
+        self._pattern_gather: list[tuple[int, np.ndarray, np.ndarray]] = []
+        for (position, _), (qubits, stab_groups) in sorted(gather.items()):
+            self._pattern_gather.append(
+                (position, np.array(qubits, dtype=np.int64), np.array(stab_groups, dtype=np.int64))
+            )
+        # Adjacent-ancilla structure for MLR neighbour flags.
+        neighbor_lists = [
+            np.array([stab for stab, _ in code.data_adjacency[q]], dtype=np.int64)
+            for q in range(code.num_data)
+        ]
+        by_count: dict[int, tuple[list[int], list[np.ndarray]]] = {}
+        for qubit, ancillas in enumerate(neighbor_lists):
+            by_count.setdefault(len(ancillas), ([], []))[0].append(qubit)
+            by_count[len(ancillas)][1].append(ancillas)
+        self._neighbor_gather = [
+            (np.array(qubits, dtype=np.int64), np.stack(ancilla_rows))
+            for qubits, ancilla_rows in by_count.values()
+        ]
+        # Z-stabilizer support matrix for the final data-readout detectors.
+        self._z_support = code.parity_check_z.astype(bool)
+        self._logical_z_support = code.logical_z.astype(bool)
+
+    # ------------------------------------------------------------------ #
+    # Main entry point
+    # ------------------------------------------------------------------ #
+    def run(self, shots: int, rounds: int) -> RunResult:
+        """Simulate ``rounds`` QEC rounds for a batch of ``shots`` shots."""
+        if shots <= 0 or rounds <= 0:
+            raise ValueError("shots and rounds must be positive")
+        noise, rng, code = self.noise, self.rng, self.code
+        state = SimState(shots, code.num_data, code.num_ancilla)
+        if self.options.leakage_sampling:
+            seeded = rng.integers(0, code.num_data, size=shots)
+            state.data_leaked[np.arange(shots), seeded] = True
+
+        pending_lrc = np.zeros((shots, code.num_data), dtype=bool)
+        pending_anc_lrc = np.zeros((shots, code.num_ancilla), dtype=bool)
+        prev_pattern_ints = np.zeros((shots, code.num_data), dtype=np.int64)
+        detector_history = (
+            np.zeros((shots, rounds, len(self._z_stab_indices)), dtype=bool)
+            if self.options.record_detectors
+            else None
+        )
+        pattern_histogram: dict[int, dict[int, tuple[int, int]]] = {}
+
+        round_records: list[RoundRecord] = []
+        totals = {"lrc": 0, "anc_lrc": 0, "fp": 0, "fn": 0, "tp": 0, "leak_events": 0}
+
+        for round_index in range(rounds):
+            record, pending_lrc, pending_anc_lrc, prev_pattern_ints = self._run_round(
+                state,
+                round_index,
+                pending_lrc,
+                pending_anc_lrc,
+                prev_pattern_ints,
+                totals,
+                detector_history,
+                pattern_histogram,
+            )
+            round_records.append(record)
+
+        final_detectors, observable_flips = self._final_readout(state)
+
+        return RunResult(
+            code_name=code.name,
+            policy_name=self.policy.describe(),
+            shots=shots,
+            rounds=rounds,
+            noise=noise,
+            round_records=round_records,
+            total_data_lrcs=totals["lrc"],
+            total_ancilla_lrcs=totals["anc_lrc"],
+            total_false_positives=totals["fp"],
+            total_false_negatives=totals["fn"],
+            total_true_positives=totals["tp"],
+            total_leakage_events=totals["leak_events"],
+            final_data_leaked=state.data_leaked.copy(),
+            detector_history=detector_history,
+            final_detectors=final_detectors if self.options.record_detectors else None,
+            observable_flips=observable_flips,
+            pattern_histogram=pattern_histogram,
+        )
+
+    # ------------------------------------------------------------------ #
+    # One QEC round
+    # ------------------------------------------------------------------ #
+    def _run_round(
+        self,
+        state: SimState,
+        round_index: int,
+        pending_lrc: np.ndarray,
+        pending_anc_lrc: np.ndarray,
+        prev_pattern_ints: np.ndarray,
+        totals: dict[str, int],
+        detector_history: np.ndarray | None,
+        pattern_histogram: dict,
+    ) -> tuple[RoundRecord, np.ndarray, np.ndarray, np.ndarray]:
+        noise, rng = self.noise, self.rng
+        shots = state.shots
+
+        # 1. Apply the LRCs scheduled by last round's decision.
+        lrcs_this_round = int(pending_lrc.sum())
+        anc_lrcs_this_round = int(pending_anc_lrc.sum())
+        totals["lrc"] += lrcs_this_round
+        totals["anc_lrc"] += anc_lrcs_this_round
+        self._apply_data_lrc(state, pending_lrc, totals)
+        self._apply_ancilla_lrc(state, pending_anc_lrc, totals)
+
+        # 2. Start-of-round data noise: depolarisation plus environment leakage.
+        state.depolarize_data(noise.p, rng)
+        new_leak = state.inject_data_leakage(noise.p_leak, rng)
+        totals["leak_events"] += int(new_leak.sum())
+
+        # 3. Ancilla reset (clears most parity-qubit leakage; data-qubit
+        #    leakage has no such escape hatch).
+        state.reset_ancillas(noise.p, rng, noise.ancilla_reset_removes_leakage)
+        new_anc_leak = state.inject_ancilla_leakage(noise.p_leak, rng)
+        totals["leak_events"] += int(new_anc_leak.sum())
+
+        # 4. Entangling layers.
+        for anc_idx, data_idx, is_z in zip(self._slot_anc, self._slot_data, self._slot_is_z):
+            totals["leak_events"] += self._apply_cnot_layer(state, anc_idx, data_idx, is_z)
+
+        # 5. Measurement, MLR, detectors.
+        measurement, mlr_flags = self._measure(state)
+        detectors = measurement ^ state.prev_measurement
+        if round_index == 0:
+            # X-stabilizer outcomes are intrinsically random in the first
+            # round of a memory-Z experiment; their first detector is defined
+            # only from round 1 onwards.
+            detectors[:, ~self._anc_is_z] = False
+        state.prev_measurement = measurement
+        if detector_history is not None:
+            detector_history[:, round_index, :] = detectors[:, self._z_stab_indices]
+
+        # 6. Speculation.
+        pattern_ints = self._extract_patterns(detectors)
+        mlr_neighbor = self._mlr_neighbor(mlr_flags) if mlr_flags is not None else None
+        ctx = SpeculationInput(
+            round_index=round_index,
+            pattern_ints=pattern_ints,
+            prev_pattern_ints=prev_pattern_ints,
+            detectors=detectors,
+            mlr_flags=mlr_flags,
+            mlr_neighbor=mlr_neighbor,
+            data_leaked=state.data_leaked,
+        )
+        decision = self.policy.decide(ctx)
+        next_lrc = np.asarray(decision.data_lrc, dtype=bool)
+        next_anc_lrc = (
+            np.asarray(decision.ancilla_lrc, dtype=bool)
+            if decision.ancilla_lrc is not None
+            else np.zeros((shots, self.code.num_ancilla), dtype=bool)
+        )
+
+        # 7. Accuracy accounting at decision time.
+        false_positive = next_lrc & ~state.data_leaked
+        false_negative = state.data_leaked & ~next_lrc
+        true_positive = next_lrc & state.data_leaked
+        totals["fp"] += int(false_positive.sum())
+        totals["fn"] += int(false_negative.sum())
+        totals["tp"] += int(true_positive.sum())
+
+        if self.options.record_patterns:
+            self._record_patterns(pattern_ints, state.data_leaked, pattern_histogram)
+
+        record = RoundRecord(
+            round_index=round_index,
+            data_leakage_population=state.leaked_fraction(),
+            ancilla_leakage_population=float(state.anc_leaked.mean()),
+            lrcs_applied=lrcs_this_round / shots,
+            false_positives=float(false_positive.sum()) / shots,
+            false_negatives=float(false_negative.sum()) / shots,
+            true_positives=float(true_positive.sum()) / shots,
+        )
+        return record, next_lrc, next_anc_lrc, pattern_ints
+
+    # ------------------------------------------------------------------ #
+    # Physical processes
+    # ------------------------------------------------------------------ #
+    def _apply_data_lrc(self, state: SimState, mask: np.ndarray, totals: dict[str, int]) -> None:
+        """Apply LRC gadgets to the masked data qubits."""
+        if not mask.any():
+            return
+        noise, rng = self.noise, self.rng
+        removed = mask & state.data_leaked & (
+            rng.random(mask.shape) < self.gadget.removal_prob
+        )
+        state.data_leaked &= ~removed
+        # A returned qubit re-enters the computational subspace in a random
+        # state: model as a 50/50 X flip plus full dephasing.
+        state.data_x ^= removed & (rng.random(mask.shape) < 0.5)
+        state.data_z ^= removed & (rng.random(mask.shape) < 0.5)
+        # Gadget noise on every treated qubit (leaked or not).
+        gate_error = self.gadget.gate_error(noise)
+        hit = mask & (rng.random(mask.shape) < gate_error)
+        pauli = rng.integers(0, 3, size=mask.shape)
+        state.data_x ^= hit & (pauli != 2)
+        state.data_z ^= hit & (pauli != 0)
+        induced = mask & (rng.random(mask.shape) < self.gadget.induced_leakage(noise))
+        new_leak = induced & ~state.data_leaked
+        state.data_leaked |= new_leak
+        totals["leak_events"] += int(new_leak.sum())
+
+    def _apply_ancilla_lrc(self, state: SimState, mask: np.ndarray, totals: dict[str, int]) -> None:
+        """Apply LRC gadgets to the masked ancilla qubits."""
+        if not mask.any():
+            return
+        noise, rng = self.noise, self.rng
+        removed = mask & state.anc_leaked & (
+            rng.random(mask.shape) < self.gadget.removal_prob
+        )
+        state.anc_leaked &= ~removed
+        gate_error = self.gadget.gate_error(noise)
+        hit = mask & (rng.random(mask.shape) < gate_error)
+        pauli = rng.integers(0, 3, size=mask.shape)
+        state.anc_x ^= hit & (pauli != 2)
+        state.anc_z ^= hit & (pauli != 0)
+        induced = mask & (rng.random(mask.shape) < self.gadget.induced_leakage(noise))
+        new_leak = induced & ~state.anc_leaked
+        state.anc_leaked |= new_leak
+        totals["leak_events"] += int(new_leak.sum())
+
+    def _apply_cnot_layer(
+        self,
+        state: SimState,
+        anc_idx: np.ndarray,
+        data_idx: np.ndarray,
+        is_z: np.ndarray,
+    ) -> int:
+        """Execute one entangling layer; return the number of new leakage events."""
+        noise, rng = self.noise, self.rng
+        shots = state.shots
+        gates = anc_idx.shape[0]
+        shape = (shots, gates)
+
+        data_x = state.data_x[:, data_idx]
+        data_z = state.data_z[:, data_idx]
+        anc_x = state.anc_x[:, anc_idx]
+        anc_z = state.anc_z[:, anc_idx]
+        data_leak = state.data_leaked[:, data_idx]
+        anc_leak = state.anc_leaked[:, anc_idx]
+        healthy = ~data_leak & ~anc_leak
+        is_z_row = is_z[np.newaxis, :]
+
+        # Ideal CNOT propagation where both operands are in the computational
+        # subspace.  Z-type checks: control = data, target = ancilla;
+        # X-type checks: control = ancilla, target = data.
+        new_anc_x = anc_x ^ (data_x & healthy & is_z_row)
+        new_data_z = data_z ^ (anc_z & healthy & is_z_row)
+        new_data_x = data_x ^ (anc_x & healthy & ~is_z_row)
+        new_anc_z = anc_z ^ (data_z & healthy & ~is_z_row)
+
+        # Leaked-operand malfunction: the healthy partner either inherits the
+        # leakage (probability = mobility) or picks up a random Pauli.
+        data_only = data_leak & ~anc_leak
+        anc_only = anc_leak & ~data_leak
+        transport = rng.random(shape) < noise.leakage_mobility
+        anc_gets_leak = data_only & transport
+        data_gets_leak = anc_only & transport
+        scramble_anc = data_only & ~transport
+        scramble_data = anc_only & ~transport
+        rand_x = rng.random(shape) < 0.5
+        rand_z = rng.random(shape) < 0.5
+        new_anc_x ^= scramble_anc & rand_x
+        new_anc_z ^= scramble_anc & rand_z
+        rand_x2 = rng.random(shape) < 0.5
+        rand_z2 = rng.random(shape) < 0.5
+        new_data_x ^= scramble_data & rand_x2
+        new_data_z ^= scramble_data & rand_z2
+
+        # Two-qubit depolarising gate error.
+        gate_hit = rng.random(shape) < noise.p
+        pauli_pair = rng.integers(1, 16, size=shape)
+        new_data_x ^= gate_hit & ((pauli_pair & 1) != 0)
+        new_data_z ^= gate_hit & ((pauli_pair & 2) != 0)
+        new_anc_x ^= gate_hit & ((pauli_pair & 4) != 0)
+        new_anc_z ^= gate_hit & ((pauli_pair & 8) != 0)
+
+        # Gate-induced leakage on both operands.
+        data_gate_leak = rng.random(shape) < noise.p_leak
+        anc_gate_leak = rng.random(shape) < noise.p_leak
+
+        # Write everything back.
+        state.data_x[:, data_idx] = new_data_x
+        state.data_z[:, data_idx] = new_data_z
+        state.anc_x[:, anc_idx] = new_anc_x
+        state.anc_z[:, anc_idx] = new_anc_z
+
+        new_data_leak_mask = (data_gets_leak | data_gate_leak) & ~state.data_leaked[:, data_idx]
+        new_anc_leak_mask = (anc_gets_leak | anc_gate_leak) & ~state.anc_leaked[:, anc_idx]
+        state.data_leaked[:, data_idx] |= new_data_leak_mask
+        state.anc_leaked[:, anc_idx] |= new_anc_leak_mask
+        return int(new_data_leak_mask.sum()) + int(new_anc_leak_mask.sum())
+
+    def _measure(self, state: SimState) -> tuple[np.ndarray, np.ndarray | None]:
+        """Measure every ancilla; return (outcomes, MLR flags or None)."""
+        noise, rng = self.noise, self.rng
+        raw = np.where(self._anc_is_z[np.newaxis, :], state.anc_x, state.anc_z)
+        outcome = raw ^ (rng.random(raw.shape) < noise.p)
+        if noise.readout_leak_random:
+            random_bits = rng.random(raw.shape) < 0.5
+            outcome = np.where(state.anc_leaked, random_bits, outcome)
+        else:
+            outcome = np.where(state.anc_leaked, True, outcome)
+
+        mlr_flags: np.ndarray | None = None
+        if self.policy.uses_mlr:
+            missed = rng.random(raw.shape) < noise.mlr_error
+            false_flag = rng.random(raw.shape) < noise.p
+            mlr_flags = (state.anc_leaked & ~missed) | (~state.anc_leaked & false_flag)
+            # MLR-triggered resets return correctly flagged ancillas to the
+            # computational subspace before the next round.
+            state.anc_leaked &= ~(mlr_flags & state.anc_leaked)
+        return outcome, mlr_flags
+
+    # ------------------------------------------------------------------ #
+    # Pattern extraction and bookkeeping
+    # ------------------------------------------------------------------ #
+    def _extract_patterns(self, detectors: np.ndarray) -> np.ndarray:
+        """Pack each data qubit's adjacent detector flips into an integer."""
+        shots = detectors.shape[0]
+        pattern_ints = np.zeros((shots, self.code.num_data), dtype=np.int64)
+        for position, qubits, stab_groups in self._pattern_gather:
+            if stab_groups.shape[1] == 1:
+                bits = detectors[:, stab_groups[:, 0]]
+            else:
+                bits = detectors[:, stab_groups[:, 0]]
+                for column in range(1, stab_groups.shape[1]):
+                    bits = bits | detectors[:, stab_groups[:, column]]
+            pattern_ints[:, qubits] |= bits.astype(np.int64) << position
+        return pattern_ints
+
+    def _mlr_neighbor(self, mlr_flags: np.ndarray) -> np.ndarray:
+        """OR of the MLR flags of each data qubit's adjacent ancillas."""
+        shots = mlr_flags.shape[0]
+        result = np.zeros((shots, self.code.num_data), dtype=bool)
+        for qubits, ancilla_rows in self._neighbor_gather:
+            flags = mlr_flags[:, ancilla_rows[:, 0]]
+            for column in range(1, ancilla_rows.shape[1]):
+                flags = flags | mlr_flags[:, ancilla_rows[:, column]]
+            result[:, qubits] = flags
+        return result
+
+    def _record_patterns(
+        self,
+        pattern_ints: np.ndarray,
+        data_leaked: np.ndarray,
+        histogram: dict[int, dict[int, tuple[int, int]]],
+    ) -> None:
+        """Accumulate per-width pattern counts split by true leakage status."""
+        widths = np.asarray(self.code.pattern_widths)
+        for width in np.unique(widths):
+            qubits = np.nonzero(widths == width)[0]
+            values = pattern_ints[:, qubits].ravel()
+            leaked = data_leaked[:, qubits].ravel()
+            width_hist = histogram.setdefault(int(width), {})
+            for value in range(1 << int(width)):
+                select = values == value
+                leaked_count = int((select & leaked).sum())
+                clean_count = int((select & ~leaked).sum())
+                if value in width_hist:
+                    old_leaked, old_clean = width_hist[value]
+                    width_hist[value] = (old_leaked + leaked_count, old_clean + clean_count)
+                else:
+                    width_hist[value] = (leaked_count, clean_count)
+
+    # ------------------------------------------------------------------ #
+    # Final readout
+    # ------------------------------------------------------------------ #
+    def _final_readout(self, state: SimState) -> tuple[np.ndarray, np.ndarray]:
+        """Transversal data readout: final detectors and the logical observable."""
+        noise, rng = self.noise, self.rng
+        data_meas = state.data_x ^ (rng.random(state.data_x.shape) < noise.p)
+        if noise.readout_leak_random:
+            random_bits = rng.random(data_meas.shape) < 0.5
+            data_meas = np.where(state.data_leaked, random_bits, data_meas)
+        else:
+            data_meas = np.where(state.data_leaked, True, data_meas)
+        # Final-round detectors: parity of the measured data over each
+        # Z-stabilizer support, compared against that stabilizer's last
+        # in-circuit measurement.
+        z_parity = (data_meas.astype(np.uint8) @ self._z_support.T.astype(np.uint8)) % 2
+        last_z = state.prev_measurement[:, self._z_stab_indices]
+        final_detectors = z_parity.astype(bool) ^ last_z
+        observable = (
+            data_meas[:, self._logical_z_support].sum(axis=1) % 2
+        ).astype(bool)
+        return final_detectors, observable

@@ -1,0 +1,108 @@
+"""Pauli-frame plus leakage-flag state for batched circuit simulation.
+
+The simulator tracks, for every shot in a batch, the X and Z components of
+the Pauli frame on each data and ancilla qubit plus a per-qubit boolean
+"leaked" flag.  Circuit-level Pauli noise is exact in this representation;
+leakage is tracked classically, exactly as in the ERASER/GLADIATOR artifacts
+(leaked qubits stop participating in normal gate action and instead
+randomise their partners), which is the behavioural model calibrated on IBM
+hardware in Section 2.3 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimState"]
+
+
+@dataclass
+class SimState:
+    """Batched Pauli-frame + leakage state.
+
+    All arrays have shape ``(shots, num_data)`` or ``(shots, num_ancilla)``
+    and dtype ``bool``.
+    """
+
+    shots: int
+    num_data: int
+    num_ancilla: int
+    data_x: np.ndarray = field(init=False)
+    data_z: np.ndarray = field(init=False)
+    data_leaked: np.ndarray = field(init=False)
+    anc_x: np.ndarray = field(init=False)
+    anc_z: np.ndarray = field(init=False)
+    anc_leaked: np.ndarray = field(init=False)
+    prev_measurement: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.data_x = np.zeros((self.shots, self.num_data), dtype=bool)
+        self.data_z = np.zeros((self.shots, self.num_data), dtype=bool)
+        self.data_leaked = np.zeros((self.shots, self.num_data), dtype=bool)
+        self.anc_x = np.zeros((self.shots, self.num_ancilla), dtype=bool)
+        self.anc_z = np.zeros((self.shots, self.num_ancilla), dtype=bool)
+        self.anc_leaked = np.zeros((self.shots, self.num_ancilla), dtype=bool)
+        self.prev_measurement = np.zeros((self.shots, self.num_ancilla), dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # Noise channels (vectorised over shots and qubits)
+    # ------------------------------------------------------------------ #
+    def depolarize_data(self, probability: float, rng: np.random.Generator) -> None:
+        """Apply single-qubit depolarising noise to every data qubit."""
+        if probability <= 0:
+            return
+        hit = rng.random(self.data_x.shape) < probability
+        # Choose uniformly among X, Y, Z when the channel fires.
+        pauli = rng.integers(0, 3, size=self.data_x.shape)
+        self.data_x ^= hit & (pauli != 2)  # X or Y flips the X frame
+        self.data_z ^= hit & (pauli != 0)  # Y or Z flips the Z frame
+
+    def inject_data_leakage(self, probability: float, rng: np.random.Generator) -> np.ndarray:
+        """Leak data qubits independently with ``probability``; return new-leak mask."""
+        if probability <= 0:
+            return np.zeros_like(self.data_leaked)
+        new_leak = (rng.random(self.data_leaked.shape) < probability) & ~self.data_leaked
+        self.data_leaked |= new_leak
+        return new_leak
+
+    def inject_ancilla_leakage(self, probability: float, rng: np.random.Generator) -> np.ndarray:
+        """Leak ancilla qubits independently with ``probability``; return new-leak mask."""
+        if probability <= 0:
+            return np.zeros_like(self.anc_leaked)
+        new_leak = (rng.random(self.anc_leaked.shape) < probability) & ~self.anc_leaked
+        self.anc_leaked |= new_leak
+        return new_leak
+
+    def reset_ancillas(
+        self,
+        flip_probability: float,
+        rng: np.random.Generator,
+        leakage_removal_probability: float = 1.0,
+    ) -> None:
+        """Reset every ancilla frame; imperfect resets start with a Pauli flip.
+
+        ``leakage_removal_probability`` controls how often the measure-and-
+        reset also returns a leaked parity qubit to the computational
+        subspace (parity qubits are measured every round, so by default
+        their leakage survives at most one round).
+        """
+        self.anc_x[:] = False
+        self.anc_z[:] = False
+        if flip_probability > 0:
+            self.anc_x ^= rng.random(self.anc_x.shape) < flip_probability
+            self.anc_z ^= rng.random(self.anc_z.shape) < flip_probability
+        if leakage_removal_probability > 0:
+            cleared = self.anc_leaked & (
+                rng.random(self.anc_leaked.shape) < leakage_removal_probability
+            )
+            self.anc_leaked &= ~cleared
+
+    def leaked_fraction(self) -> float:
+        """Fraction of data qubits currently leaked, averaged over shots."""
+        return float(self.data_leaked.mean())
+
+    def leaked_counts(self) -> np.ndarray:
+        """Per-shot count of currently leaked data qubits."""
+        return self.data_leaked.sum(axis=1)

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.codes import bpc_code, color_code, hypergraph_product_code, surface_code
+from repro.core import CalibrationData, GraphModelConfig
+from repro.noise import paper_noise
+
+
+@pytest.fixture(scope="session")
+def surface_d3():
+    """Distance-3 rotated surface code."""
+    return surface_code(3)
+
+
+@pytest.fixture(scope="session")
+def surface_d5():
+    """Distance-5 rotated surface code."""
+    return surface_code(5)
+
+
+@pytest.fixture(scope="session")
+def surface_d7():
+    """Distance-7 rotated surface code."""
+    return surface_code(7)
+
+
+@pytest.fixture(scope="session")
+def color_d5():
+    """Distance-5 triangular colour code."""
+    return color_code(5)
+
+
+@pytest.fixture(scope="session")
+def hgp():
+    """Default hypergraph-product code instance."""
+    return hypergraph_product_code()
+
+
+@pytest.fixture(scope="session")
+def bpc():
+    """Default two-block cyclic (BPC-style) code instance."""
+    return bpc_code()
+
+
+@pytest.fixture(scope="session")
+def noise():
+    """The paper's default noise profile (p=1e-3, lr=0.1)."""
+    return paper_noise()
+
+
+@pytest.fixture(scope="session")
+def calibration(noise):
+    """Calibration data matching the default noise profile."""
+    return CalibrationData.from_noise(noise)
+
+
+@pytest.fixture(scope="session")
+def graph_config():
+    """Default graph-model configuration."""
+    return GraphModelConfig()

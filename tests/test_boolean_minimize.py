@@ -1,0 +1,94 @@
+"""Tests of the Quine-McCluskey Boolean minimiser."""
+
+import pytest
+
+from repro.core.boolean_minimize import (
+    Implicant,
+    count_literals,
+    evaluate,
+    expression_to_string,
+    quine_mccluskey,
+)
+
+
+def _truth_table_matches(minterms, width):
+    implicants = quine_mccluskey(minterms, width)
+    minterm_set = set(minterms)
+    return all(
+        evaluate(implicants, value) == (value in minterm_set)
+        for value in range(1 << width)
+    )
+
+
+def test_empty_function_is_constant_false():
+    assert quine_mccluskey(set(), 4) == []
+    assert expression_to_string([], 4) == "False"
+
+
+def test_full_function_is_constant_true():
+    implicants = quine_mccluskey(set(range(16)), 4)
+    assert len(implicants) == 1
+    assert implicants[0].mask == 0
+    assert expression_to_string(implicants, 4) == "True"
+
+
+def test_single_minterm():
+    implicants = quine_mccluskey({0b1010}, 4)
+    assert len(implicants) == 1
+    assert implicants[0].num_literals(4) == 4
+    assert evaluate(implicants, 0b1010)
+    assert not evaluate(implicants, 0b1000)
+
+
+def test_adjacent_minterms_merge():
+    # 0b000 and 0b001 differ only in bit 0, so one variable disappears.
+    implicants = quine_mccluskey({0b000, 0b001}, 3)
+    assert len(implicants) == 1
+    assert implicants[0].num_literals(3) == 2
+
+
+def test_classic_example():
+    # f(x2, x1, x0) true on {1, 3, 5, 7} reduces to the single literal x0.
+    implicants = quine_mccluskey({1, 3, 5, 7}, 3)
+    assert len(implicants) == 1
+    assert implicants[0].literals(3) == [(0, True)]
+
+
+@pytest.mark.parametrize(
+    "minterms,width",
+    [
+        ({0b0011, 0b0110, 0b1100, 0b1001}, 4),
+        ({1, 2, 4, 8}, 4),
+        (set(range(0, 32, 3)), 5),
+        ({0b10101, 0b01010, 0b11111, 0b00000}, 5),
+    ],
+)
+def test_minimisation_preserves_truth_table(minterms, width):
+    assert _truth_table_matches(minterms, width)
+
+
+def test_eraser_truth_table_minimises_correctly():
+    # ERASER's 4-bit rule (>= 2 bits set): the minimised expression must still
+    # flag exactly the 11 patterns of the paper.
+    minterms = {v for v in range(16) if bin(v).count("1") >= 2}
+    implicants = quine_mccluskey(minterms, 4)
+    assert _truth_table_matches(minterms, 4)
+    assert count_literals(implicants, 4) < 4 * len(minterms)
+
+
+def test_out_of_range_minterm_rejected():
+    with pytest.raises(ValueError):
+        quine_mccluskey({16}, 4)
+
+
+def test_implicant_covers():
+    implicant = Implicant(mask=0b1100, value=0b0100)
+    assert implicant.covers(0b0101)
+    assert implicant.covers(0b0110)
+    assert not implicant.covers(0b1100)
+
+
+def test_expression_string_uses_polarity():
+    implicants = quine_mccluskey({0b01}, 2)
+    rendered = expression_to_string(implicants, 2)
+    assert "x0" in rendered and "~x1" in rendered

@@ -1,0 +1,80 @@
+"""Tests of the triangular 6.6.6 colour code construction."""
+
+import numpy as np
+import pytest
+
+from repro.codes import color_code
+from repro.codes.color import triangular_color_layout
+
+
+@pytest.mark.parametrize(
+    "distance,expected_data", [(3, 7), (5, 19), (7, 37), (9, 61), (11, 91)]
+)
+def test_data_qubit_counts(distance, expected_data):
+    code = color_code(distance)
+    assert code.num_data == expected_data
+    assert code.num_data == (3 * distance**2 + 1) // 4
+
+
+@pytest.mark.parametrize("distance", [3, 5, 7])
+def test_two_ancillas_per_plaquette(distance):
+    code = color_code(distance)
+    assert code.num_ancilla == code.num_data - 1
+    assert len(code.x_stabilizers) == len(code.z_stabilizers)
+
+
+def test_distance3_is_steane_code():
+    code = color_code(3)
+    assert code.num_data == 7
+    assert len(code.z_stabilizers) == 3
+    assert all(s.weight == 4 for s in code.stabilizers)
+    assert code.num_logical_qubits == 1
+
+
+@pytest.mark.parametrize("distance", [5, 7])
+def test_plaquette_weights_are_four_or_six(distance):
+    code = color_code(distance)
+    assert set(s.weight for s in code.stabilizers) == {4, 6}
+
+
+def test_css_commutation(color_d5):
+    product = (color_d5.parity_check_x @ color_d5.parity_check_z.T) % 2
+    assert not np.any(product)
+
+
+def test_logical_operator_weight_is_distance(color_d5):
+    assert int(color_d5.logical_x.sum()) == 5
+    assert int(color_d5.logical_z.sum()) == 5
+    assert color_d5.num_logical_qubits == 1
+
+
+def test_pattern_widths_match_paper(color_d5):
+    # Interior data qubits sit on three plaquettes; edges on two; corners on one.
+    widths = set(color_d5.pattern_widths)
+    assert widths == {1, 2, 3}
+    assert color_d5.pattern_widths.count(1) == 3  # the three triangle corners
+
+
+def test_speculation_groups_pair_x_and_z_ancillas(color_d5):
+    for qubit in range(color_d5.num_data):
+        for group in color_d5.speculation_groups[qubit]:
+            bases = {color_d5.stabilizers[s].basis for s in group.stabilizers}
+            assert bases == {"X", "Z"}
+
+
+def test_layout_sites_partition(color_d5):
+    data_sites, plaquettes = triangular_color_layout(5)
+    assert len(data_sites) == 19
+    assert len(plaquettes) == 9
+    plaquette_sites = {tuple(p["coords"]) for p in plaquettes}
+    assert not plaquette_sites & {(float(r), float(c)) for r, c in data_sites}
+
+
+def test_plaquettes_use_three_colors():
+    _, plaquettes = triangular_color_layout(7)
+    assert {p["color"] for p in plaquettes} == {0, 1, 2}
+
+
+def test_invalid_distance_rejected():
+    with pytest.raises(ValueError):
+        color_code(4)

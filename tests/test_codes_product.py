@@ -1,0 +1,99 @@
+"""Tests of the product-code constructions (HGP, BPC) and classical ingredients."""
+
+import numpy as np
+import pytest
+
+from repro.codes import (
+    bpc_code,
+    hgp_code_from_checks,
+    hypergraph_product_code,
+    two_block_cyclic_code,
+)
+from repro.codes.classical import (
+    circulant_matrix,
+    hamming_parity_check,
+    polynomial_to_circulant,
+    random_regular_ldpc,
+    repetition_parity_check,
+)
+
+
+def test_hamming_matrix_shape_and_columns():
+    matrix = hamming_parity_check()
+    assert matrix.shape == (3, 7)
+    columns = {tuple(matrix[:, c]) for c in range(7)}
+    assert len(columns) == 7
+    assert (0, 0, 0) not in columns
+
+
+def test_circulant_rows_are_shifts():
+    matrix = circulant_matrix(np.array([1, 0, 1, 0]))
+    for shift in range(4):
+        assert np.array_equal(matrix[shift], np.roll(matrix[0], shift))
+
+
+def test_polynomial_circulant_weight():
+    matrix = polynomial_to_circulant([0, 1, 3], 7)
+    assert matrix.shape == (7, 7)
+    assert int(matrix.sum(axis=1)[0]) == 3
+
+
+def test_random_ldpc_column_weight():
+    matrix = random_regular_ldpc(num_checks=6, num_bits=12, column_weight=3, seed=1)
+    assert np.array_equal(matrix.sum(axis=0), np.full(12, 3))
+
+
+def test_random_ldpc_is_deterministic_for_seed():
+    a = random_regular_ldpc(5, 10, 3, seed=9)
+    b = random_regular_ldpc(5, 10, 3, seed=9)
+    assert np.array_equal(a, b)
+
+
+def test_hgp_default_instance_dimensions(hgp):
+    # Hypergraph product of two Hamming [7,4] codes: 7*7 + 3*3 = 58 qubits,
+    # 21 X checks + 21 Z checks, 16 logical qubits.
+    assert hgp.num_data == 58
+    assert hgp.num_ancilla == 42
+    assert hgp.metadata["num_logical"] == 16
+
+
+def test_hgp_css_commutation(hgp):
+    assert not np.any((hgp.parity_check_x @ hgp.parity_check_z.T) % 2)
+
+
+def test_hgp_has_irregular_pattern_widths(hgp):
+    widths = set(hgp.pattern_widths)
+    assert len(widths) >= 4
+    assert max(widths) >= 6
+
+
+def test_hgp_from_repetition_codes_is_surface_like():
+    h = repetition_parity_check(3)
+    code = hgp_code_from_checks(h, h, name="hgp_rep3")
+    assert code.num_data == 3 * 3 + 2 * 2
+    assert code.num_logical_qubits == 1
+
+
+def test_bpc_default_instance(bpc):
+    assert bpc.num_data == 24
+    assert bpc.num_ancilla == 24
+    assert bpc.metadata["num_logical"] == 4
+    assert not np.any((bpc.parity_check_x @ bpc.parity_check_z.T) % 2)
+
+
+def test_bpc_checks_have_uniform_weight(bpc):
+    weights = {s.weight for s in bpc.stabilizers}
+    assert weights == {9}
+
+
+def test_two_block_cyclic_rejects_trivial_code():
+    # Polynomials with no common factor with x^l - 1 encode zero logical qubits.
+    with pytest.raises(ValueError):
+        two_block_cyclic_code(7, (0, 1, 3), (0, 2, 3))
+
+
+def test_logical_operators_commute_with_stabilizers(hgp, bpc):
+    for code in (hgp, bpc):
+        assert not np.any((code.parity_check_x @ code.logical_z) % 2)
+        assert not np.any((code.parity_check_z @ code.logical_x) % 2)
+        assert int(code.logical_x @ code.logical_z) % 2 == 1

@@ -1,0 +1,137 @@
+"""Tests of the detector graph, MWPM decoder and union-find decoder."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_policy
+from repro.decoders import DetectorGraph, MatchingDecoder, UnionFindDecoder, make_decoder
+from repro.noise import ideal_noise, paper_noise
+from repro.sim import LeakageSimulator, SimulatorOptions
+
+
+@pytest.fixture(scope="module")
+def graph_d3(surface_d3=None):
+    from repro.codes import surface_code
+
+    return DetectorGraph(code=surface_code(3), rounds=4, noise=paper_noise())
+
+
+def test_graph_node_counts(graph_d3):
+    num_z = len([s for s in graph_d3.code.stabilizers if s.basis == "Z"])
+    assert graph_d3.num_z_stabs == num_z
+    assert graph_d3.num_layers == 5
+    assert graph_d3.num_nodes == 5 * num_z + 1
+    assert graph_d3.boundary_node == 5 * num_z
+
+
+def test_graph_edge_kinds(graph_d3):
+    kinds = {edge.kind for edge in graph_d3.edges}
+    assert kinds == {"space", "time", "boundary"}
+    time_edges = [e for e in graph_d3.edges if e.kind == "time"]
+    assert len(time_edges) == graph_d3.num_z_stabs * (graph_d3.num_layers - 1)
+    assert all(not e.flips_logical for e in time_edges)
+
+
+def test_some_space_edges_cross_the_logical(graph_d3):
+    crossing = [e for e in graph_d3.edges if e.flips_logical]
+    assert crossing
+    assert all(e.kind in ("space", "boundary") for e in crossing)
+
+
+def test_flagged_nodes_round_trip(graph_d3):
+    history = np.zeros((4, graph_d3.num_z_stabs), dtype=bool)
+    final = np.zeros(graph_d3.num_z_stabs, dtype=bool)
+    history[2, 1] = True
+    final[0] = True
+    nodes = graph_d3.flagged_nodes(history, final)
+    assert graph_d3.node_index(1, 2) in nodes
+    assert graph_d3.node_index(0, 4) in nodes
+    assert len(nodes) == 2
+
+
+def test_rejects_codes_with_hyperedge_structure():
+    from repro.codes import color_code
+
+    with pytest.raises(ValueError):
+        DetectorGraph(code=color_code(5), rounds=3)
+
+
+def test_trivial_syndrome_decodes_to_identity(graph_d3):
+    history = np.zeros((4, graph_d3.num_z_stabs), dtype=bool)
+    final = np.zeros(graph_d3.num_z_stabs, dtype=bool)
+    assert MatchingDecoder(graph_d3).decode_shot(history, final) == 0
+    assert UnionFindDecoder(graph_d3).decode_shot(history, final) == 0
+
+
+def test_single_measurement_error_is_benign(graph_d3):
+    # A measurement error fires the same detector in two consecutive rounds
+    # and must decode to "no logical flip".
+    history = np.zeros((4, graph_d3.num_z_stabs), dtype=bool)
+    final = np.zeros(graph_d3.num_z_stabs, dtype=bool)
+    history[1, 2] = True
+    history[2, 2] = True
+    assert MatchingDecoder(graph_d3).decode_shot(history, final) == 0
+    assert UnionFindDecoder(graph_d3).decode_shot(history, final) == 0
+
+
+def _logical_failure_rate(code, noise, policy_name, decoder_method, shots, rounds, seed=0):
+    simulator = LeakageSimulator(
+        code=code,
+        noise=noise,
+        policy=make_policy(policy_name),
+        options=SimulatorOptions(record_detectors=True),
+        seed=seed,
+    )
+    result = simulator.run(shots=shots, rounds=rounds)
+    graph = DetectorGraph(code=code, rounds=rounds, noise=noise)
+    decoder = make_decoder(graph, decoder_method)
+    predictions = decoder.decode_batch(result.detector_history, result.final_detectors)
+    return float((predictions ^ result.observable_flips).mean())
+
+
+@pytest.mark.parametrize("decoder_method", ["matching", "union_find"])
+def test_decoder_corrects_low_noise_runs(surface_d3, decoder_method):
+    noise = paper_noise(p=5e-4, leakage_ratio=0.0)
+    failure_rate = _logical_failure_rate(
+        surface_d3, noise, "no-lrc", decoder_method, shots=150, rounds=6, seed=7
+    )
+    assert failure_rate < 0.08
+
+
+@pytest.mark.parametrize("decoder_method", ["matching", "union_find"])
+def test_decoder_perfect_without_noise(surface_d3, decoder_method):
+    failure_rate = _logical_failure_rate(
+        surface_d3, ideal_noise(), "no-lrc", decoder_method, shots=50, rounds=5
+    )
+    assert failure_rate == 0.0
+
+
+def test_higher_distance_improves_ler():
+    from repro.codes import surface_code
+
+    noise = paper_noise(p=2e-3, leakage_ratio=0.0)
+    ler_d3 = _logical_failure_rate(
+        surface_code(3), noise, "no-lrc", "matching", shots=400, rounds=6, seed=8
+    )
+    ler_d5 = _logical_failure_rate(
+        surface_code(5), noise, "no-lrc", "matching", shots=400, rounds=6, seed=8
+    )
+    assert ler_d5 <= ler_d3
+
+
+def test_make_decoder_factory(graph_d3):
+    assert isinstance(make_decoder(graph_d3, "matching"), MatchingDecoder)
+    assert isinstance(make_decoder(graph_d3, "union_find"), UnionFindDecoder)
+    with pytest.raises(ValueError):
+        make_decoder(graph_d3, "bp-osd")
+
+
+def test_greedy_fallback_used_for_large_syndromes(surface_d3):
+    noise = paper_noise(p=2e-2, leakage_ratio=0.0)
+    graph = DetectorGraph(code=surface_d3, rounds=8, noise=noise)
+    decoder = MatchingDecoder(graph, max_exact_nodes=2)
+    rng = np.random.default_rng(9)
+    history = rng.random((8, graph.num_z_stabs)) < 0.2
+    final = rng.random(graph.num_z_stabs) < 0.2
+    # Must complete and return a valid parity even through the greedy path.
+    assert decoder.decode_shot(history, final) in (0, 1)

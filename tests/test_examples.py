@@ -1,0 +1,40 @@
+"""Smoke tests: the runnable examples must execute end-to-end.
+
+The decoded-memory example is exercised separately by the experiment tests
+(it takes minutes), so here we run the three fast examples in a subprocess
+and check they exit cleanly and print their headline tables.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+REPO_ROOT = EXAMPLES_DIR.parent
+
+FAST_EXAMPLES = [
+    ("quickstart.py", "Leakage speculation on the d=5 surface code"),
+    ("mobility_and_calibration.py", "Leakage-mobility estimation"),
+    ("custom_code_speculation.py", "Speculative mitigation on the HGP code"),
+]
+
+
+@pytest.mark.parametrize("script,expected_text", FAST_EXAMPLES, ids=[s for s, _ in FAST_EXAMPLES])
+def test_example_runs(script, expected_text):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert expected_text in completed.stdout
+
+
+def test_examples_directory_contents():
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 4

@@ -1,0 +1,100 @@
+"""Tests for GF(2) linear algebra helpers."""
+
+import numpy as np
+import pytest
+
+from repro.codes.classical import hamming_parity_check, repetition_parity_check
+from repro.codes.gf2 import (
+    css_logical_operators,
+    gf2_nullspace,
+    gf2_rank,
+    gf2_row_reduce,
+    gf2_rowspace,
+    gf2_solve,
+    in_rowspace,
+)
+
+
+def test_rank_identity():
+    assert gf2_rank(np.eye(5, dtype=int)) == 5
+
+
+def test_rank_repeated_rows():
+    matrix = np.array([[1, 0, 1], [1, 0, 1], [0, 1, 1]])
+    assert gf2_rank(matrix) == 2
+
+
+def test_row_reduce_pivots_are_unit_columns():
+    matrix = np.array([[1, 1, 0, 1], [0, 1, 1, 0], [1, 0, 1, 1]])
+    reduced, pivots = gf2_row_reduce(matrix)
+    for row, col in enumerate(pivots):
+        column = reduced[:, col]
+        assert column[row] == 1
+        assert column.sum() == 1
+
+
+def test_nullspace_vectors_annihilate():
+    matrix = hamming_parity_check()
+    basis = gf2_nullspace(matrix)
+    assert basis.shape[0] == 4  # Hamming [7,4]
+    for vector in basis:
+        assert not np.any((matrix @ vector) % 2)
+
+
+def test_nullspace_plus_rank_is_dimension():
+    rng = np.random.default_rng(3)
+    matrix = rng.integers(0, 2, size=(6, 11))
+    assert gf2_rank(matrix) + gf2_nullspace(matrix).shape[0] == 11
+
+
+def test_rowspace_membership():
+    matrix = np.array([[1, 1, 0], [0, 1, 1]])
+    assert in_rowspace(np.array([1, 0, 1]), matrix)
+    assert not in_rowspace(np.array([1, 0, 0]), matrix)
+
+
+def test_solve_consistent_system():
+    matrix = np.array([[1, 1, 0], [0, 1, 1]])
+    target = np.array([1, 0])
+    solution = gf2_solve(matrix, target)
+    assert solution is not None
+    assert np.array_equal((matrix @ solution) % 2, target)
+
+
+def test_solve_inconsistent_system_returns_none():
+    matrix = np.array([[1, 1, 0], [1, 1, 0]])
+    assert gf2_solve(matrix, np.array([1, 0])) is None
+
+
+def test_css_logicals_of_steane_like_construction():
+    # Repetition-code HGP-free sanity check: the [[7,1,3]] Steane code built
+    # from the Hamming matrix used for both X and Z stabilizers.
+    hamming = hamming_parity_check()
+    logical_x, logical_z = css_logical_operators(hamming, hamming)
+    assert logical_x.shape[0] == 1
+    assert logical_z.shape[0] == 1
+    assert not np.any((hamming @ logical_z[0]) % 2)
+    assert not np.any((hamming @ logical_x[0]) % 2)
+    assert (logical_x[0] @ logical_z[0]) % 2 == 1
+
+
+def test_css_logicals_reject_noncommuting_inputs():
+    h_x = np.array([[1, 1, 0]])
+    h_z = np.array([[1, 0, 0]])
+    with pytest.raises(ValueError):
+        css_logical_operators(h_x, h_z)
+
+
+def test_repetition_code_properties():
+    matrix = repetition_parity_check(5)
+    assert matrix.shape == (4, 5)
+    assert gf2_rank(matrix) == 4
+    assert gf2_nullspace(matrix).shape[0] == 1
+    assert np.array_equal(gf2_nullspace(matrix)[0], np.ones(5, dtype=np.uint8))
+
+
+def test_rowspace_basis_is_full_rank():
+    matrix = np.array([[1, 1, 0, 0], [1, 1, 0, 0], [0, 0, 1, 1]])
+    basis = gf2_rowspace(matrix)
+    assert basis.shape[0] == 2
+    assert gf2_rank(basis) == 2

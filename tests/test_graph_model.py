@@ -1,0 +1,120 @@
+"""Tests of GLADIATOR's error-propagation graph model."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import CalibrationData, GraphModelConfig, TransitionModel
+from repro.core.graph_model import build_transition_graph, labels_for_qubit, qubit_context
+
+
+def bulk_qubit(code, width=4):
+    return next(q for q in range(code.num_data) if code.pattern_width(q) == width)
+
+
+def test_qubit_context_structure(surface_d5):
+    context = qubit_context(surface_d5, bulk_qubit(surface_d5))
+    assert context.width == 4
+    assert len(context.groups) == 4
+    bases = [group.bases for group in context.groups]
+    assert bases.count(("X",)) == 2
+    assert bases.count(("Z",)) == 2
+
+
+def test_super_edge_weights_are_probabilities(surface_d5, calibration, graph_config):
+    context = qubit_context(surface_d5, bulk_qubit(surface_d5))
+    model = TransitionModel(context, calibration, graph_config)
+    leakage, nonleakage = model.super_edge_weights()
+    assert leakage.shape == (16,)
+    assert np.all(leakage >= 0) and np.all(nonleakage >= 0)
+    assert leakage.sum() > 0
+    assert nonleakage.sum() > 0
+    # Non-leakage errors are an order of magnitude more likely overall.
+    assert nonleakage.sum() > leakage.sum()
+
+
+def test_zero_pattern_is_never_flagged(surface_d5, calibration, graph_config):
+    labels = labels_for_qubit(surface_d5, bulk_qubit(surface_d5), calibration, graph_config)
+    assert not labels[0]
+
+
+def test_flag_count_between_bounds_and_below_eraser(surface_d5, calibration, graph_config):
+    # The paper reports GLADIATOR flagging 7-8 of 16 patterns vs ERASER's 11.
+    labels = labels_for_qubit(surface_d5, bulk_qubit(surface_d5), calibration, graph_config)
+    assert 4 <= int(labels.sum()) <= 10
+    assert int(labels.sum()) < 11
+
+
+def test_frequent_single_flip_patterns_not_flagged(surface_d5, calibration, graph_config):
+    labels = labels_for_qubit(surface_d5, bulk_qubit(surface_d5), calibration, graph_config)
+    for bit in range(4):
+        assert not labels[1 << bit]
+
+
+def test_two_round_labels_have_correct_size(surface_d5, calibration, graph_config):
+    labels = labels_for_qubit(
+        surface_d5, bulk_qubit(surface_d5), calibration, graph_config, two_rounds=True
+    )
+    assert labels.shape == (256,)
+    assert not labels[0]
+    assert 0 < int(labels.sum()) < 256
+
+
+def test_two_round_excludes_first_order_completions(surface_d5, calibration, graph_config):
+    # A data error that fires a suffix pattern in one round and its complement
+    # in the next is a benign first-order mechanism and must not be flagged.
+    context = qubit_context(surface_d5, bulk_qubit(surface_d5))
+    model = TransitionModel(context, calibration, graph_config)
+    labels = model.label_two_round_patterns()
+    width = context.width
+    for position in range(width):
+        for pauli in ("X", "Y", "Z"):
+            suffix = model._pauli_flip_pattern(pauli, position)
+            full = model._pauli_flip_pattern(pauli, 0)
+            if suffix == 0:
+                continue
+            key = (full ^ suffix) | (suffix << width)
+            assert not labels[key]
+
+
+def test_threshold_monotonicity(surface_d5, calibration):
+    strict = labels_for_qubit(
+        surface_d5, bulk_qubit(surface_d5), calibration, GraphModelConfig(threshold=1.0)
+    )
+    relaxed = labels_for_qubit(
+        surface_d5, bulk_qubit(surface_d5), calibration, GraphModelConfig(threshold=0.05)
+    )
+    assert int(strict.sum()) <= int(relaxed.sum())
+    assert np.all(relaxed[strict])  # strict flags are a subset of relaxed flags
+
+
+def test_higher_leakage_rate_flags_more_patterns(surface_d5, calibration, graph_config):
+    lifted = calibration.with_(leakage_rate=calibration.leakage_rate * 10)
+    base = labels_for_qubit(surface_d5, bulk_qubit(surface_d5), calibration, graph_config)
+    aggressive = labels_for_qubit(surface_d5, bulk_qubit(surface_d5), lifted, graph_config)
+    assert int(aggressive.sum()) >= int(base.sum())
+
+
+def test_color_code_flags_fewer_than_eraser(color_d5, calibration, graph_config):
+    qubit = bulk_qubit(color_d5, width=3)
+    labels = labels_for_qubit(color_d5, qubit, calibration, graph_config)
+    assert int(labels.sum()) < 4  # ERASER flags 4 of 8 three-bit patterns
+
+
+def test_transition_graph_structure(surface_d5, calibration, graph_config):
+    context = qubit_context(surface_d5, bulk_qubit(surface_d5))
+    model = TransitionModel(context, calibration, graph_config)
+    graph = build_transition_graph(model)
+    assert isinstance(graph, nx.MultiDiGraph)
+    assert graph.number_of_nodes() == 16
+    kinds = {key for _, _, key in graph.edges(keys=True)}
+    assert kinds == {"leakage", "nonleakage"}
+    labels = {graph.nodes[n]["label"] for n in graph.nodes}
+    assert labels == {"leakage", "nonleakage"}
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        GraphModelConfig(threshold=0.0)
+    with pytest.raises(ValueError):
+        GraphModelConfig(persistence_rounds=-1.0)

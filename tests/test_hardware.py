@@ -1,0 +1,124 @@
+"""Tests of the FPGA cost model and the speculation microarchitecture."""
+
+import numpy as np
+import pytest
+
+from repro.core import GladiatorMPolicy, GladiatorPolicy, make_policy
+from repro.hardware import (
+    ERASER_TABLE3_LUTS,
+    DataParityAdjacencyGenerator,
+    GladiatorMicroarchitecture,
+    SequenceChecker,
+    eraser_luts,
+    gladiator_luts,
+    lut_reduction_factor,
+    luts_for_expression,
+    resource_report,
+)
+from repro.core.boolean_minimize import quine_mccluskey
+from repro.noise import paper_noise
+
+
+def test_gladiator_lut_formula_matches_table3():
+    # Table 3: 10, 10, 20, 30, 50, 70 LUTs for d = 5, 9, 13, 17, 21, 25.
+    expected = {5: 10, 9: 10, 13: 20, 17: 30, 21: 50, 25: 70}
+    for distance, luts in expected.items():
+        assert gladiator_luts(distance) == luts
+
+
+def test_eraser_luts_reproduce_table3_and_interpolate():
+    for distance, luts in ERASER_TABLE3_LUTS.items():
+        assert eraser_luts(distance) == luts
+    assert eraser_luts(7) > eraser_luts(5)
+    assert eraser_luts(11) > eraser_luts(9)
+
+
+def test_lut_reduction_factor_at_least_17x():
+    # The paper quotes a 17x-80x reduction across distances 5-25.
+    for distance in (5, 9, 13, 17, 21, 25):
+        assert lut_reduction_factor(distance) >= 17
+
+
+def test_resource_report_rows():
+    report = resource_report([5, 13, 25])
+    assert [row.distance for row in report] == [5, 13, 25]
+    assert all(row.reduction > 1 for row in report)
+
+
+def test_luts_for_expression_scaling():
+    narrow = quine_mccluskey({0b01}, 2)
+    wide = quine_mccluskey({v for v in range(32) if bin(v).count("1") == 3}, 5)
+    assert luts_for_expression(narrow, 2) >= 1
+    assert luts_for_expression(wide, 5) > luts_for_expression(narrow, 2)
+    assert luts_for_expression([], 4) == 0
+
+
+def test_adjacency_generator_patterns(surface_d3, noise):
+    generator = DataParityAdjacencyGenerator(surface_d3)
+    syndrome = np.zeros(surface_d3.num_ancilla, dtype=bool)
+    rows = generator.patterns(syndrome)
+    assert len(rows) == surface_d3.num_data
+    assert all(pattern == 0 for _, pattern, _ in rows)
+    syndrome[0] = True
+    rows = generator.patterns(syndrome)
+    touched = [qubit for qubit, pattern, _ in rows if pattern]
+    assert set(touched) == set(surface_d3.stabilizers[0].data_support)
+    with pytest.raises(ValueError):
+        generator.patterns(np.zeros(3, dtype=bool))
+
+
+def test_sequence_checker_equivalent_to_table(surface_d5, noise):
+    policy = GladiatorPolicy()
+    policy.prepare(surface_d5, paper_noise())
+    qubit = next(q for q in range(surface_d5.num_data) if surface_d5.pattern_width(q) == 4)
+    table = policy.flag_table(qubit)
+    checker = SequenceChecker(width=4, flagged_patterns={v for v in range(16) if table[v]})
+    assert checker.verify_against_truth_table()
+    assert checker.lut_estimate >= 1
+    assert checker.expression != "False"
+
+
+def test_microarchitecture_end_to_end(surface_d3):
+    policy = GladiatorMPolicy()
+    policy.prepare(surface_d3, paper_noise())
+    uarch = GladiatorMicroarchitecture(surface_d3, policy)
+    assert set(uarch.checkers) == {2, 3, 4}
+    assert all(checker.verify_against_truth_table() for checker in uarch.checkers.values())
+
+    syndrome = np.zeros(surface_d3.num_ancilla, dtype=bool)
+    requests = uarch.process_round(syndrome)
+    assert not requests.any()
+
+    # A fully scrambled neighbourhood (the leakage signature) must trigger.
+    leaked_qubit = next(
+        q for q in range(surface_d3.num_data) if surface_d3.pattern_width(q) == 4
+    )
+    for stab_index, _ in surface_d3.data_adjacency[leaked_qubit]:
+        syndrome[stab_index] = True
+    requests = uarch.process_round(syndrome, mlr_suspects={0})
+    assert requests[0]
+    assert uarch.lut_budget() >= 10
+
+
+def test_microarchitecture_covers_policy_decisions(surface_d3):
+    """The shared-checker datapath must flag at least what the per-qubit tables flag.
+
+    The hardware shares one sequence checker per pattern width (Section 4.4),
+    so its flagged set is the union over the qubits of that width; it can
+    therefore only be more conservative (never less) than the per-qubit
+    software tables.
+    """
+    policy = make_policy("gladiator")
+    policy.prepare(surface_d3, paper_noise())
+    uarch = GladiatorMicroarchitecture(surface_d3, policy)
+    rng = np.random.default_rng(11)
+    for _ in range(20):
+        syndrome = rng.random(surface_d3.num_ancilla) < 0.3
+        requests = uarch.process_round(syndrome)
+        for qubit in range(surface_d3.num_data):
+            pattern = 0
+            for position, group in enumerate(surface_d3.speculation_groups[qubit]):
+                if any(syndrome[s] for s in group.stabilizers):
+                    pattern |= 1 << position
+            if policy.flag_table(qubit)[pattern]:
+                assert requests[qubit]

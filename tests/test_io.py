@@ -1,0 +1,83 @@
+"""Tests of result persistence and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.io import (
+    ResultRecord,
+    banner,
+    format_series,
+    format_table,
+    format_value,
+    load_records,
+    results_dir,
+    save_records,
+)
+
+
+def test_format_value_floats_and_bools():
+    assert format_value(True) == "yes"
+    assert format_value(False) == "no"
+    assert format_value(0.0) == "0"
+    assert "e" in format_value(1.2345e-5)
+    assert format_value("text") == "text"
+
+
+def test_format_table_from_dicts():
+    rows = [
+        {"policy": "eraser+M", "lrc": 0.75, "fp": 0.69},
+        {"policy": "gladiator+M", "lrc": 0.55, "fp": 0.52},
+    ]
+    rendered = format_table(rows, title="Figure 9")
+    assert "Figure 9" in rendered
+    assert "gladiator+M" in rendered
+    assert rendered.count("\n") >= 3
+
+
+def test_format_table_from_sequences_requires_headers():
+    with pytest.raises(ValueError):
+        format_table([[1, 2]], headers=None)
+    rendered = format_table([[1, 2], [3, 4]], headers=["a", "b"])
+    assert "a" in rendered and "3" in rendered
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], headers=["a"])
+
+
+def test_format_series_columns():
+    rendered = format_series(
+        [1, 2, 3],
+        {"eraser": [0.1, 0.2, 0.3], "gladiator": [0.05, 0.1, 0.2]},
+        x_label="rounds",
+    )
+    lines = rendered.splitlines()
+    assert lines[0].split() == ["rounds", "eraser", "gladiator"]
+    assert len(lines) == 5
+
+
+def test_banner_contains_text():
+    assert "Table 5" in banner("Table 5")
+    assert len(banner("x")) >= 20
+
+
+def test_save_and_load_records_roundtrip(tmp_path):
+    records = [
+        ResultRecord(
+            experiment="fig9",
+            parameters={"distance": 7, "policy": "gladiator+M"},
+            metrics={"fp": np.float64(0.52), "curve": np.array([1.0, 2.0])},
+        )
+    ]
+    path = save_records(records, tmp_path / "out" / "fig9.json")
+    loaded = load_records(path)
+    assert len(loaded) == 1
+    assert loaded[0].experiment == "fig9"
+    assert loaded[0].parameters["distance"] == 7
+    assert loaded[0].metrics["curve"] == [1.0, 2.0]
+    assert loaded[0].flat()["policy"] == "gladiator+M"
+
+
+def test_results_dir_creates_directory(tmp_path):
+    target = results_dir(tmp_path / "results")
+    assert target.exists() and target.is_dir()

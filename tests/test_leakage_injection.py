@@ -1,0 +1,46 @@
+"""Tests of the simulated leakage-injection characterisation (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import QutritCnotModel, leakage_growth, single_cnot_distribution
+
+
+def test_leaked_control_scrambles_target():
+    distribution = single_cnot_distribution(shots=20_000, leaked_control=True, seed=1)
+    target_one = distribution["01"] + distribution["11"]
+    assert 0.4 < target_one < 0.6  # the 50% bit-flip signature of Section 2.3
+    assert pytest.approx(1.0, abs=1e-9) == sum(distribution.values())
+
+
+def test_healthy_control_keeps_target_deterministic():
+    distribution = single_cnot_distribution(shots=20_000, leaked_control=False, seed=2)
+    # Control |1>, target |0> -> CNOT flips the target almost always.
+    assert distribution["11"] > 0.9
+
+
+def test_leakage_grows_with_injection_and_not_without():
+    injected = leakage_growth(max_cnots=40, shots=4000, inject=True, seed=3)
+    clean = leakage_growth(max_cnots=40, shots=4000, inject=False, seed=3)
+    assert injected.leakage_population[-1] > 0.2
+    assert injected.leakage_population[-1] > injected.leakage_population[0]
+    assert clean.leakage_population[-1] < 0.1
+    assert np.all(np.diff(injected.cnot_counts) == 1)
+
+
+def test_growth_monotone_in_mobility():
+    fast = QutritCnotModel(mobility=0.3, relaxation_probability=0.0)
+    slow = QutritCnotModel(mobility=0.02, relaxation_probability=0.0)
+    fast_result = leakage_growth(max_cnots=30, shots=4000, model=fast, seed=4)
+    slow_result = leakage_growth(max_cnots=30, shots=4000, model=slow, seed=4)
+    assert fast_result.leakage_population[-1] > slow_result.leakage_population[-1]
+
+
+def test_measure_readout_error_bounds():
+    model = QutritCnotModel(readout_error=0.0)
+    rng = np.random.default_rng(5)
+    state = np.array([0, 1, 2] * 1000)
+    outcome = model.measure(state, rng)
+    assert set(np.unique(outcome)) <= {0, 1}
+    assert np.all(outcome[state == 0] == 0)
+    assert np.all(outcome[state == 1] == 1)

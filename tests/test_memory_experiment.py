@@ -1,0 +1,90 @@
+"""Tests of the decoded memory experiment and its metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_policy
+from repro.experiments import MemoryExperiment
+from repro.noise import ideal_noise, paper_noise
+
+
+def make_experiment(code, policy_name="eraser+m", noise=None, **kwargs):
+    return MemoryExperiment(
+        code=code,
+        noise=noise or paper_noise(),
+        policy=make_policy(policy_name),
+        **kwargs,
+    )
+
+
+def test_noiseless_memory_has_zero_ler(surface_d3):
+    result = make_experiment(surface_d3, "no-lrc", noise=ideal_noise()).run(
+        shots=40, rounds=5
+    )
+    assert result.failures == 0
+    assert result.logical_error_rate == 0.0
+    assert result.mean_dlp == 0.0
+
+
+def test_memory_result_summary_fields(surface_d3):
+    result = make_experiment(surface_d3).run(shots=60, rounds=8)
+    summary = result.summary()
+    for key in (
+        "ler",
+        "ler_low",
+        "ler_high",
+        "mean_dlp",
+        "lrcs_per_round",
+        "fp_per_round",
+        "fn_per_round",
+        "leakage_equilibrium",
+    ):
+        assert key in summary
+    assert summary["ler_low"] <= summary["ler"] <= summary["ler_high"]
+    assert summary["shots"] == 60
+    assert summary["rounds"] == 8
+
+
+def test_batching_covers_all_shots(surface_d3):
+    result = make_experiment(surface_d3, seed=3).run(shots=70, rounds=5, batch_size=30)
+    assert result.shots == 70
+    assert result.dlp_per_round.shape == (5,)
+
+
+def test_no_lrc_worse_than_mitigated_under_heavy_leakage(surface_d3):
+    noise = paper_noise(p=2e-3, leakage_ratio=1.0)
+    unmitigated = make_experiment(surface_d3, "no-lrc", noise=noise, seed=1).run(
+        shots=300, rounds=12
+    )
+    mitigated = make_experiment(surface_d3, "eraser+m", noise=noise, seed=1).run(
+        shots=300, rounds=12
+    )
+    assert mitigated.logical_error_rate <= unmitigated.logical_error_rate
+    assert mitigated.mean_dlp < unmitigated.mean_dlp
+
+
+def test_run_undecoded_skips_detector_recording(surface_d5):
+    experiment = make_experiment(surface_d5, "gladiator+m", leakage_sampling=True)
+    result = experiment.run_undecoded(shots=50, rounds=20)
+    assert result.detector_history is None
+    assert result.shots == 50
+
+
+def test_per_round_rate_below_total(surface_d3):
+    result = make_experiment(surface_d3, seed=2).run(shots=100, rounds=10)
+    assert result.per_round_logical_error_rate <= max(result.logical_error_rate, 1e-12)
+
+
+def test_invalid_arguments_rejected(surface_d3):
+    experiment = make_experiment(surface_d3)
+    with pytest.raises(ValueError):
+        experiment.run(shots=0, rounds=5)
+    with pytest.raises(ValueError):
+        experiment.run(shots=5, rounds=0)
+
+
+def test_dlp_curve_is_bounded(surface_d3):
+    result = make_experiment(surface_d3, "gladiator+m", seed=4).run(shots=80, rounds=10)
+    assert np.all(result.dlp_per_round >= 0)
+    assert np.all(result.dlp_per_round <= 1)
+    assert 0 <= result.final_dlp <= 1

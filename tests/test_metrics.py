@@ -1,0 +1,72 @@
+"""Tests of the evaluation metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    average_suppression_factor,
+    leakage_equilibrium,
+    logical_error_rate,
+    per_round_logical_error_rate,
+    reduction_factor,
+    speculation_inaccuracy,
+    suppression_factor,
+    wilson_interval,
+)
+
+
+def test_logical_error_rate_basic():
+    assert logical_error_rate(5, 100) == pytest.approx(0.05)
+    with pytest.raises(ValueError):
+        logical_error_rate(1, 0)
+
+
+def test_wilson_interval_contains_point_estimate():
+    low, high = wilson_interval(10, 200)
+    assert low < 0.05 < high
+    assert 0 <= low <= high <= 1
+
+
+def test_wilson_interval_zero_failures():
+    low, high = wilson_interval(0, 100)
+    assert low == 0.0
+    assert high > 0.0
+
+
+def test_per_round_rate_inverts_accumulation():
+    per_round = per_round_logical_error_rate(0.3, 50)
+    accumulated = 0.5 * (1 - (1 - 2 * per_round) ** 50)
+    assert accumulated == pytest.approx(0.3, rel=1e-6)
+
+
+def test_per_round_rate_saturates_at_half():
+    assert per_round_logical_error_rate(0.7, 10) == 0.5
+
+
+def test_suppression_factor():
+    assert suppression_factor(1e-3, 2.5e-4) == pytest.approx(4.0)
+    assert math.isinf(suppression_factor(1e-3, 0.0))
+
+
+def test_average_suppression_factor_geometric_mean():
+    lers = {5: 1e-2, 7: 2.5e-3, 9: 6.25e-4}
+    assert average_suppression_factor(lers) == pytest.approx(4.0)
+
+
+def test_leakage_equilibrium_uses_tail():
+    dlp = np.concatenate([np.linspace(0, 0.01, 60), np.full(20, 0.02)])
+    assert leakage_equilibrium(dlp, tail_fraction=0.25) == pytest.approx(0.02)
+    assert leakage_equilibrium(np.array([])) == 0.0
+    with pytest.raises(ValueError):
+        leakage_equilibrium(dlp, tail_fraction=0.0)
+
+
+def test_reduction_factor():
+    assert reduction_factor(3.0, 1.5) == pytest.approx(2.0)
+    assert math.isinf(reduction_factor(1.0, 0.0))
+
+
+def test_speculation_inaccuracy_adds_components():
+    assert speculation_inaccuracy(0.02, 0.01) == pytest.approx(0.03)

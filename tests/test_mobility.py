@@ -1,0 +1,50 @@
+"""Tests of leakage-mobility estimation and classification (Table 6)."""
+
+import pytest
+
+from repro.codes import surface_code
+from repro.core import MobilityEstimator, classify_mobility
+from repro.core.mobility import MOBILITY_THRESHOLD, MobilityRecordingPolicy
+from repro.core import make_policy
+from repro.noise import paper_noise
+
+
+def test_classify_mobility_threshold():
+    assert classify_mobility(0.01) == "low"
+    assert classify_mobility(0.049) == "low"
+    assert classify_mobility(0.05) == "high"
+    assert classify_mobility(0.2) == "high"
+    assert MOBILITY_THRESHOLD == pytest.approx(0.05)
+
+
+def test_recording_policy_requires_inner():
+    with pytest.raises(ValueError):
+        MobilityRecordingPolicy(inner=None)
+
+
+def test_recording_policy_tracks_conditional_probability(surface_d5, noise):
+    recorder = MobilityRecordingPolicy(inner=make_policy("gladiator+m"))
+    assert recorder.conditional_probability == 0.0
+    assert recorder.uses_mlr
+
+
+@pytest.mark.parametrize(
+    "mobility,expected",
+    [(0.01, "low"), (0.09, "high")],
+)
+def test_estimator_classifies_extreme_regimes(mobility, expected):
+    code = surface_code(5)
+    noise = paper_noise().with_(leakage_mobility=mobility)
+    estimate = MobilityEstimator(code, noise, seed=7).estimate(shots=150, rounds=50)
+    assert estimate.regime == expected
+    assert estimate.is_high_mobility == (expected == "high")
+    assert estimate.flagged_events > 0
+
+
+def test_estimate_probability_increases_with_mobility():
+    code = surface_code(5)
+    low = MobilityEstimator(code, paper_noise().with_(leakage_mobility=0.01), seed=3)
+    high = MobilityEstimator(code, paper_noise().with_(leakage_mobility=0.09), seed=3)
+    low_est = low.estimate(shots=150, rounds=40)
+    high_est = high.estimate(shots=150, rounds=40)
+    assert high_est.conditional_probability > low_est.conditional_probability

@@ -1,0 +1,88 @@
+"""Tests of syndrome-pattern utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.patterns import (
+    bits_to_int,
+    count_eraser_patterns,
+    eraser_flags_pattern,
+    int_to_bits,
+    pattern_to_string,
+    popcount,
+    string_to_int,
+    tag_pattern,
+    untag_pattern,
+)
+
+
+def test_bits_int_roundtrip():
+    for value in range(16):
+        assert bits_to_int(int_to_bits(value, 4)) == value
+
+
+def test_pattern_string_roundtrip():
+    assert pattern_to_string(string_to_int("0011"), 4) == "0011"
+    assert pattern_to_string(string_to_int("1001"), 4) == "1001"
+
+
+def test_string_parsing_rejects_non_binary():
+    with pytest.raises(ValueError):
+        string_to_int("01x1")
+
+
+def test_popcount_scalar_and_array():
+    assert popcount(0b1011) == 3
+    values = np.array([0, 1, 3, 15])
+    assert np.array_equal(popcount(values), np.array([0, 1, 2, 4]))
+
+
+def test_eraser_flag_counts_match_paper():
+    # Section 4.1: ERASER flags 11 of 16 4-bit patterns; Section 5.2: 4 of 8
+    # 3-bit colour-code patterns.
+    assert count_eraser_patterns(4) == 11
+    assert count_eraser_patterns(3) == 4
+    assert count_eraser_patterns(2) == 3
+
+
+def test_eraser_flags_half_or_more():
+    assert eraser_flags_pattern(string_to_int("0011"), 4)
+    assert eraser_flags_pattern(string_to_int("1001"), 4)
+    assert not eraser_flags_pattern(string_to_int("0001"), 4)
+    assert not eraser_flags_pattern(0, 4)
+
+
+def test_tagging_produces_five_bit_values():
+    # 4-bit patterns prefix "0", 3-bit "10", 2-bit "110" (Section 4.4).
+    assert tag_pattern(0b1010, 4) == 0b01010
+    assert tag_pattern(0b101, 3) == 0b10000 | 0b101
+    assert tag_pattern(0b11, 2) == 0b11000 | 0b11
+    for width in (2, 3, 4):
+        for value in range(1 << width):
+            assert tag_pattern(value, width) < 32
+
+
+def test_tagging_roundtrip():
+    for width in (1, 2, 3, 4):
+        for value in range(1 << width):
+            recovered_value, recovered_width = untag_pattern(tag_pattern(value, width))
+            assert (recovered_value, recovered_width) == (value, width)
+
+
+def test_tagging_is_injective():
+    seen = set()
+    for width in (2, 3, 4):
+        for value in range(1 << width):
+            tagged = tag_pattern(value, width)
+            assert tagged not in seen
+            seen.add(tagged)
+
+
+def test_tag_unknown_width_rejected():
+    with pytest.raises(ValueError):
+        tag_pattern(0, 7)
+
+
+def test_int_to_bits_range_check():
+    with pytest.raises(ValueError):
+        int_to_bits(16, 4)

@@ -1,0 +1,82 @@
+"""Tests of the batched Pauli-frame + leakage state."""
+
+import numpy as np
+
+from repro.sim import SimState
+
+
+def make_state(shots=100, num_data=9, num_ancilla=8):
+    return SimState(shots=shots, num_data=num_data, num_ancilla=num_ancilla)
+
+
+def test_initial_state_is_clean():
+    state = make_state()
+    assert not state.data_x.any()
+    assert not state.data_z.any()
+    assert not state.data_leaked.any()
+    assert not state.anc_leaked.any()
+    assert state.leaked_fraction() == 0.0
+
+
+def test_depolarize_zero_probability_is_identity():
+    state = make_state()
+    state.depolarize_data(0.0, np.random.default_rng(0))
+    assert not state.data_x.any() and not state.data_z.any()
+
+
+def test_depolarize_hits_expected_fraction():
+    state = make_state(shots=4000, num_data=10)
+    state.depolarize_data(0.3, np.random.default_rng(1))
+    hit_fraction = float((state.data_x | state.data_z).mean())
+    assert 0.25 < hit_fraction < 0.35
+
+
+def test_depolarize_balances_pauli_types():
+    state = make_state(shots=6000, num_data=8)
+    state.depolarize_data(1.0, np.random.default_rng(2))
+    x_only = float((state.data_x & ~state.data_z).mean())
+    z_only = float((state.data_z & ~state.data_x).mean())
+    both = float((state.data_x & state.data_z).mean())
+    for fraction in (x_only, z_only, both):
+        assert 0.28 < fraction < 0.39
+
+
+def test_leakage_injection_marks_new_leaks_only():
+    state = make_state(shots=2000)
+    rng = np.random.default_rng(3)
+    first = state.inject_data_leakage(0.5, rng)
+    second = state.inject_data_leakage(0.5, rng)
+    assert not (first & second).any()
+    assert state.data_leaked.sum() == first.sum() + second.sum()
+
+
+def test_reset_clears_frames_and_leakage():
+    state = make_state()
+    rng = np.random.default_rng(4)
+    state.anc_x[:] = True
+    state.anc_leaked[:, 0] = True
+    state.reset_ancillas(0.0, rng, leakage_removal_probability=1.0)
+    assert not state.anc_x.any()
+    assert not state.anc_leaked.any()
+
+
+def test_reset_can_preserve_leakage():
+    state = make_state()
+    rng = np.random.default_rng(5)
+    state.anc_leaked[:, 1] = True
+    state.reset_ancillas(0.0, rng, leakage_removal_probability=0.0)
+    assert state.anc_leaked[:, 1].all()
+
+
+def test_reset_flip_probability():
+    state = make_state(shots=4000)
+    state.reset_ancillas(0.25, np.random.default_rng(6))
+    fraction = float(state.anc_x.mean())
+    assert 0.2 < fraction < 0.3
+
+
+def test_leaked_counts_per_shot():
+    state = make_state(shots=3, num_data=5)
+    state.data_leaked[0, [0, 3]] = True
+    state.data_leaked[2, 1] = True
+    assert state.leaked_counts().tolist() == [2, 0, 1]

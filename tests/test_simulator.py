@@ -1,0 +1,159 @@
+"""Tests of the leakage-aware QEC round simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_policy
+from repro.noise import NoiseParams, ideal_noise, paper_noise
+from repro.sim import LeakageSimulator, SimulatorOptions
+
+
+def run(code, noise, policy_name, shots=100, rounds=20, seed=0, **options):
+    simulator = LeakageSimulator(
+        code=code,
+        noise=noise,
+        policy=make_policy(policy_name),
+        options=SimulatorOptions(**options),
+        seed=seed,
+    )
+    return simulator.run(shots=shots, rounds=rounds)
+
+
+def test_noiseless_run_is_trivial(surface_d3):
+    result = run(surface_d3, ideal_noise(), "no-lrc", shots=50, rounds=10)
+    assert result.mean_dlp == 0.0
+    assert result.total_data_lrcs == 0
+    assert result.total_false_positives == 0
+    assert not result.observable_flips.any()
+
+
+def test_noiseless_detectors_are_silent(surface_d3):
+    result = run(
+        surface_d3, ideal_noise(), "no-lrc", shots=20, rounds=5, record_detectors=True
+    )
+    assert not result.detector_history.any()
+    assert not result.final_detectors.any()
+
+
+def test_leakage_sampling_seeds_one_leak_per_shot(surface_d5, noise):
+    result = run(
+        surface_d5,
+        noise.with_(p=0.0, leakage_ratio=0.0, leakage_mobility=0.0),
+        "no-lrc",
+        shots=64,
+        rounds=3,
+        leakage_sampling=True,
+    )
+    # With no further noise, no transport and no LRCs exactly the seeded leak persists.
+    assert result.final_data_leaked.sum(axis=1).min() >= 1
+    assert result.dlp_per_round[0] == pytest.approx(1 / surface_d5.num_data)
+
+
+def test_leakage_accumulates_without_mitigation(surface_d7, noise):
+    result = run(surface_d7, noise, "no-lrc", shots=100, rounds=60)
+    dlp = result.dlp_per_round
+    assert dlp[-1] > dlp[5]
+    assert result.total_data_lrcs == 0
+
+
+def test_always_lrc_bounds_leakage(surface_d7, noise):
+    unmitigated = run(surface_d7, noise, "no-lrc", shots=100, rounds=60, seed=1)
+    mitigated = run(surface_d7, noise, "always-lrc", shots=100, rounds=60, seed=1)
+    assert mitigated.mean_dlp < unmitigated.mean_dlp / 5
+    # LRCs decided in round r execute in round r+1, so the first round is LRC-free.
+    expected = surface_d7.num_data * (60 - 1) / 60
+    assert mitigated.lrcs_per_round == pytest.approx(expected, rel=0.01)
+
+
+def test_oracle_has_no_fp_or_fn(surface_d5, noise):
+    result = run(surface_d5, noise, "ideal", shots=100, rounds=30, leakage_sampling=True)
+    assert result.total_false_positives == 0
+    assert result.total_false_negatives == 0
+
+
+def test_closed_loop_uses_fewer_lrcs_than_open_loop(surface_d7, noise):
+    always = run(surface_d7, noise, "always-lrc", shots=50, rounds=30, seed=2)
+    eraser = run(surface_d7, noise, "eraser+m", shots=50, rounds=30, seed=2)
+    gladiator = run(surface_d7, noise, "gladiator+m", shots=50, rounds=30, seed=2)
+    assert eraser.lrcs_per_round < always.lrcs_per_round / 5
+    assert gladiator.lrcs_per_round < eraser.lrcs_per_round
+
+
+def test_gladiator_reduces_false_positives(surface_d7, noise):
+    eraser = run(
+        surface_d7, noise, "eraser+m", shots=300, rounds=50, seed=3, leakage_sampling=True
+    )
+    gladiator = run(
+        surface_d7, noise, "gladiator+m", shots=300, rounds=50, seed=3, leakage_sampling=True
+    )
+    assert gladiator.false_positives_per_round < eraser.false_positives_per_round
+    assert gladiator.false_negatives_per_round >= eraser.false_negatives_per_round
+
+
+def test_detector_history_shape(surface_d3, noise):
+    result = run(
+        surface_d3, noise, "eraser+m", shots=10, rounds=7, record_detectors=True
+    )
+    assert result.detector_history.shape == (10, 7, len(surface_d3.z_stabilizers))
+    assert result.final_detectors.shape == (10, len(surface_d3.z_stabilizers))
+    assert result.observable_flips.shape == (10,)
+
+
+def test_pattern_histogram_recording(surface_d3, noise):
+    simulator = LeakageSimulator(
+        code=surface_d3,
+        noise=noise,
+        policy=make_policy("eraser"),
+        options=SimulatorOptions(record_patterns=True, leakage_sampling=True),
+        seed=4,
+    )
+    result = simulator.run(shots=30, rounds=10)
+    assert set(result.pattern_histogram) <= {2, 3, 4}
+    for width, histogram in result.pattern_histogram.items():
+        assert len(histogram) == 1 << width
+        total = sum(leaked + clean for leaked, clean in histogram.values())
+        qubits_of_width = sum(1 for w in surface_d3.pattern_widths if w == width)
+        assert total == 30 * 10 * qubits_of_width
+
+
+def test_round_records_cover_every_round(surface_d3, noise):
+    result = run(surface_d3, noise, "eraser+m", shots=20, rounds=15)
+    assert len(result.round_records) == 15
+    assert [record.round_index for record in result.round_records] == list(range(15))
+
+
+def test_summary_contains_headline_metrics(surface_d3, noise):
+    summary = run(surface_d3, noise, "gladiator+m", shots=20, rounds=10).summary()
+    for key in ("mean_dlp", "lrcs_per_round", "fp_per_round", "fn_per_round"):
+        assert key in summary
+
+
+def test_invalid_shot_and_round_counts(surface_d3, noise):
+    simulator = LeakageSimulator(surface_d3, noise, make_policy("no-lrc"))
+    with pytest.raises(ValueError):
+        simulator.run(shots=0, rounds=10)
+    with pytest.raises(ValueError):
+        simulator.run(shots=10, rounds=0)
+
+
+def test_runs_are_reproducible_for_fixed_seed(surface_d5, noise):
+    first = run(surface_d5, noise, "gladiator+m", shots=50, rounds=20, seed=11)
+    second = run(surface_d5, noise, "gladiator+m", shots=50, rounds=20, seed=11)
+    assert first.total_data_lrcs == second.total_data_lrcs
+    assert first.total_false_positives == second.total_false_positives
+    assert np.array_equal(first.final_data_leaked, second.final_data_leaked)
+
+
+def test_higher_leakage_ratio_increases_leakage(surface_d5):
+    low = run(surface_d5, paper_noise(leakage_ratio=0.01), "eraser+m", shots=150, rounds=40, seed=5)
+    high = run(surface_d5, paper_noise(leakage_ratio=1.0), "eraser+m", shots=150, rounds=40, seed=5)
+    assert high.mean_dlp > low.mean_dlp
+    assert high.total_leakage_events > low.total_leakage_events
+
+
+def test_mobility_spreads_leakage(surface_d5):
+    frozen = NoiseParams(p=1e-3, leakage_ratio=0.5, leakage_mobility=0.0)
+    mobile = NoiseParams(p=1e-3, leakage_ratio=0.5, leakage_mobility=0.5)
+    frozen_run = run(surface_d5, frozen, "no-lrc", shots=150, rounds=40, seed=6)
+    mobile_run = run(surface_d5, mobile, "no-lrc", shots=150, rounds=40, seed=6)
+    assert mobile_run.mean_dlp > frozen_run.mean_dlp
