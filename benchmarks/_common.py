@@ -23,12 +23,16 @@ if str(_SRC) not in sys.path:
 
 from repro.experiments import current_scale  # noqa: E402
 from repro.io import ResultRecord, banner, format_series, format_table, results_dir, save_records  # noqa: E402
+from repro.sweeps import SweepSpec, default_executor  # noqa: E402
 
 __all__ = [
     "current_scale",
     "run_once",
     "emit",
     "save",
+    "run_sweep",
+    "group_rows",
+    "SweepSpec",
     "format_table",
     "format_series",
     "banner",
@@ -48,6 +52,25 @@ CLOSED_LOOP_POLICIES = (
 def run_once(benchmark, workload):
     """Execute ``workload`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(workload, iterations=1, rounds=1)
+
+
+def run_sweep(spec: SweepSpec) -> list[dict]:
+    """Execute a declarative sweep on the shared engine.
+
+    The engine honours ``REPRO_WORKERS`` (process pool size; default 1 =
+    serial) and ``REPRO_CACHE=1`` (memoize completed units under
+    ``.repro_cache/``), so benchmark runs parallelise and deduplicate
+    without per-script changes.
+    """
+    return default_executor().run(spec)
+
+
+def group_rows(rows: list[dict], key: str) -> dict:
+    """Group summary rows by one of their grid-coordinate labels."""
+    grouped: dict = {}
+    for row in rows:
+        grouped.setdefault(row[key], []).append(row)
+    return grouped
 
 
 #: Tables and series emitted by benchmarks during this session; the

@@ -4,12 +4,13 @@ The paper tracks the leaked-data-qubit fraction over 100d rounds for
 d = 7 and 11 and leakage ratios 0.1 and 1, comparing ERASER+M, GLADIATOR+M,
 GLADIATOR-D+M and the IDEAL oracle.  The quick configuration uses d = 7 with
 a reduced round count; ``REPRO_SCALE=paper`` extends the sweep.
+
+The workload is declared as a :class:`SweepSpec` grid and executed by the
+shared sweep engine, so ``REPRO_WORKERS=N`` shards it across processes and
+``REPRO_CACHE=1`` memoizes the (policy, leakage-ratio) units.
 """
 
-from _common import current_scale, emit, format_series, run_once, save
-
-from repro.experiments import compare_policies, make_code
-from repro.noise import paper_noise
+from _common import SweepSpec, current_scale, emit, format_series, group_rows, run_once, run_sweep, save
 
 POLICIES = ("eraser+m", "gladiator+m", "gladiator-d+m", "ideal")
 
@@ -19,16 +20,19 @@ def test_fig10_dlp_long_runs(benchmark):
     distance = 7 if scale.name != "paper" else 11
     shots = scale.shots(200)
     rounds = scale.rounds(150)
-    code = make_code("surface", distance)
+    spec = SweepSpec(
+        name="fig10_dlp_surface",
+        distances=(distance,),
+        error_rates=(1e-3,),
+        leakage_ratios=(0.1, 1.0),
+        policies=POLICIES,
+        shots=shots,
+        rounds=rounds,
+        seed=10,
+    )
 
     def workload():
-        results = {}
-        for leakage_ratio in (0.1, 1.0):
-            noise = paper_noise(p=1e-3, leakage_ratio=leakage_ratio)
-            results[leakage_ratio] = compare_policies(
-                code, noise, list(POLICIES), shots=shots, rounds=rounds, seed=10
-            )
-        return results
+        return group_rows(run_sweep(spec), "leakage_ratio")
 
     results = run_once(benchmark, workload)
 

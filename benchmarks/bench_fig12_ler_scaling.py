@@ -6,14 +6,9 @@ NO-LRC reference whose LER *grows* with distance because unmitigated leakage
 accumulates.  Also reports the error-suppression factor Lambda.
 """
 
-from _common import current_scale, emit, format_table, run_once, save
+from _common import SweepSpec, current_scale, emit, format_table, run_once, run_sweep, save
 
-from repro.experiments import (
-    average_suppression_factor,
-    compare_policies_decoded,
-    make_code,
-)
-from repro.noise import paper_noise
+from repro.experiments import average_suppression_factor
 
 POLICIES = ("no-lrc", "always-lrc", "eraser+m", "gladiator+m")
 
@@ -22,23 +17,20 @@ def test_fig12_ler_vs_distance(benchmark):
     scale = current_scale()
     distances = [3, 5] if scale.name != "paper" else [3, 5, 7]
     shots = scale.decoded_shots(400)
-    noise = paper_noise(p=1e-3, leakage_ratio=1.0)
+    spec = SweepSpec(
+        name="fig12_ler_scaling",
+        distances=tuple(distances),
+        error_rates=(1e-3,),
+        leakage_ratios=(1.0,),
+        policies=POLICIES,
+        shots=shots,
+        rounds=lambda distance: 4 * distance,
+        decoded=True,
+        seed=12,
+    )
 
     def workload():
-        rows = []
-        for distance in distances:
-            code = make_code("surface", distance)
-            for row in compare_policies_decoded(
-                code,
-                noise,
-                list(POLICIES),
-                shots=shots,
-                rounds=4 * distance,
-                seed=12,
-            ):
-                row["distance"] = distance
-                rows.append(row)
-        return rows
+        return run_sweep(spec)
 
     rows = run_once(benchmark, workload)
     table_rows = [

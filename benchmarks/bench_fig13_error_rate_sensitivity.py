@@ -7,10 +7,7 @@ points (the paper's Table 4 "speculation inaccuracy" companion numbers are
 reproduced by bench_table4).
 """
 
-from _common import current_scale, emit, format_table, run_once, save
-
-from repro.experiments import compare_policies, compare_policies_decoded, make_code
-from repro.noise import paper_noise
+from _common import SweepSpec, current_scale, emit, format_table, group_rows, run_once, run_sweep, save
 
 POLICIES = ("eraser+m", "gladiator+m", "gladiator-d+m")
 
@@ -19,20 +16,31 @@ def test_fig13_error_rate_sensitivity(benchmark):
     scale = current_scale()
     shots = scale.shots(300)
     decoded_shots = scale.decoded_shots(300)
-    code = make_code("surface", 5)
+    undecoded_spec = SweepSpec(
+        name="fig13_undecoded",
+        distances=(5,),
+        error_rates=(1e-3, 1e-4),
+        policies=POLICIES,
+        shots=shots,
+        rounds=scale.rounds(60),
+        seed=13,
+    )
+    decoded_spec = SweepSpec(
+        name="fig13_decoded",
+        distances=(5,),
+        error_rates=(1e-3, 1e-4),
+        policies=("eraser+m", "gladiator+m"),
+        shots=decoded_shots,
+        rounds=15,
+        decoded=True,
+        seed=13,
+    )
 
     def workload():
-        undecoded = {}
-        decoded = {}
-        for p in (1e-3, 1e-4):
-            noise = paper_noise(p=p, leakage_ratio=0.1)
-            undecoded[p] = compare_policies(
-                code, noise, list(POLICIES), shots=shots, rounds=scale.rounds(60), seed=13
-            )
-            decoded[p] = compare_policies_decoded(
-                code, noise, ["eraser+m", "gladiator+m"], shots=decoded_shots, rounds=15, seed=13
-            )
-        return undecoded, decoded
+        return (
+            group_rows(run_sweep(undecoded_spec), "p"),
+            group_rows(run_sweep(decoded_spec), "p"),
+        )
 
     undecoded, decoded = run_once(benchmark, workload)
 

@@ -6,10 +6,7 @@ total LRC count; the gap between ERASER+M and GLADIATOR+M widens with
 distance, which is the paper's scalability argument.
 """
 
-from _common import current_scale, emit, format_table, run_once, save
-
-from repro.experiments import compare_policies, make_code
-from repro.noise import paper_noise
+from _common import SweepSpec, current_scale, emit, format_table, run_once, run_sweep, save
 
 POLICIES = ("eraser+m", "gladiator+m", "ideal")
 
@@ -18,21 +15,20 @@ def test_fig14_distance_sensitivity(benchmark):
     scale = current_scale()
     distances = [5, 7, 9] if scale.name != "paper" else [7, 11, 13, 17]
     shots = scale.shots(150)
-    noise = paper_noise(p=1e-3, leakage_ratio=0.1)
+    spec = SweepSpec(
+        name="fig14_distance_sensitivity",
+        distances=tuple(distances),
+        policies=POLICIES,
+        shots=shots,
+        rounds=lambda distance: scale.rounds(10 * distance),
+        seed=14,
+    )
 
     def workload():
-        rows = []
-        for distance in distances:
-            code = make_code("surface", distance)
-            rounds = scale.rounds(10 * distance)
-            for row in compare_policies(
-                code, noise, list(POLICIES), shots=shots, rounds=rounds, seed=14
-            ):
-                row["distance"] = distance
-                row["rounds"] = rounds
-                row["total_lrcs"] = row["lrcs_per_round"] * rounds
-                row["leakage_events_per_shot"] = row["total_leakage_events"] / shots
-                rows.append(row)
+        rows = run_sweep(spec)
+        for row in rows:
+            row["total_lrcs"] = row["lrcs_per_round"] * row["rounds"]
+            row["leakage_events_per_shot"] = row["total_leakage_events"] / shots
         return rows
 
     rows = run_once(benchmark, workload)

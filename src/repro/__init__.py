@@ -52,9 +52,12 @@ from .experiments import (
     compare_policies_decoded,
     current_scale,
     make_code,
+    sweep_distances,
+    sweep_error_rates,
 )
 from .noise import NoiseParams, ideal_noise, paper_noise
 from .sim import LeakageSimulator, RunResult, SimulatorOptions
+from .sweeps import SweepCache, SweepExecutor, SweepSpec, WorkUnit
 
 __version__ = "1.0.0"
 
@@ -96,4 +99,11 @@ __all__ = [
     "compare_policies_decoded",
     "current_scale",
     "make_code",
+    "sweep_distances",
+    "sweep_error_rates",
+    # sweep engine
+    "SweepSpec",
+    "SweepExecutor",
+    "SweepCache",
+    "WorkUnit",
 ]

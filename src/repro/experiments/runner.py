@@ -1,10 +1,59 @@
 """Parameter sweeps and policy comparisons used by the benchmark harness.
 
 Every figure and table of the paper is some sweep over (code, distance,
-physical error rate, leakage ratio, policy); this module provides those
-sweeps as plain functions returning lists of summary dictionaries, plus the
-``REPRO_SCALE`` environment knob that switches between quick (CI-sized) and
-paper-sized workloads.
+physical error rate, leakage ratio, policy).  This module keeps the
+historical plain-function API — ``compare_policies``,
+``compare_policies_decoded``, ``sweep_distances``, ``sweep_error_rates`` —
+but the functions are now thin wrappers over the :mod:`repro.sweeps`
+engine: each (point, policy) combination becomes one
+:class:`~repro.sweeps.units.WorkUnit` executed by the shared
+:func:`~repro.sweeps.executor.default_executor`.  Two environment knobs
+change how that engine runs without touching any call site:
+
+* ``REPRO_WORKERS=N`` shards every unit's shot budget across ``N`` worker
+  processes (default ``1``: serial, bit-identical to the historical code).
+* ``REPRO_CACHE=1`` memoizes completed units under ``.repro_cache/`` so
+  identical runs across the 20 benchmark scripts are not recomputed.
+
+The ``REPRO_SCALE`` knob (``smoke`` / ``quick`` / ``paper``) switches
+between CI-sized and paper-sized workloads, as before.
+
+Summary-row units
+-----------------
+Every function here returns a list of flat summary dictionaries — the same
+rows the sweep cache serialises to disk — whose keys carry these units:
+
+========================  =====================================================
+key                       meaning / units
+========================  =====================================================
+``policy``                canonical policy display name (e.g. ``gladiator+M``)
+``code``                  code name (e.g. ``surface_d7``)
+``shots`` / ``rounds``    totals for this row's run (counts)
+``mean_dlp``              data-leakage population averaged over rounds and
+                          shots; fraction of data qubits in [0, 1]
+``final_dlp``             data-leakage population after the last round;
+                          fraction of data qubits in [0, 1]
+``dlp_per_round``         array of per-round leakage fractions (undecoded
+                          rows only), length ``rounds``
+``lrcs_per_round``        data-qubit LRC gadgets applied, **per round per
+                          shot** (average count, not a fraction)
+``fp_per_round``          unnecessary LRCs (false positives), per round per
+                          shot
+``fn_per_round``          undetected leaked qubits (false negatives), per
+                          round per shot
+``speculation_inaccuracy``  ``fp_per_round + fn_per_round``
+``total_leakage_events``  leakage injections summed over **all shots and
+                          rounds** of the run (a total, not a rate)
+``ler``                   whole-experiment logical error probability in
+                          [0, 1] (decoded rows only)
+``ler_low`` / ``ler_high``  95% Wilson interval bounds of ``ler``
+``ler_per_round``         per-round logical error probability equivalent to
+                          ``ler`` (decoded rows only)
+``leakage_equilibrium``   trailing-rounds average of the leakage population;
+                          fraction of data qubits (decoded rows only)
+``distance`` / ``p`` / ``leakage_ratio``  grid coordinates stamped by the
+                          sweep functions that vary them
+========================  =====================================================
 """
 
 from __future__ import annotations
@@ -14,11 +63,10 @@ from dataclasses import dataclass
 
 from ..codes import bpc_code, color_code, hypergraph_product_code, surface_code
 from ..codes.base import StabilizerCode
-from ..core import make_policy
 from ..core.graph_model import GraphModelConfig
 from ..noise import NoiseParams, paper_noise
-from ..sim import LeakageSimulator, SimulatorOptions
-from .memory import MemoryExperiment
+from ..sweeps.executor import default_executor
+from ..sweeps.units import WorkUnit
 
 __all__ = [
     "ScaleConfig",
@@ -88,6 +136,15 @@ def make_code(family: str, distance: int | None = None) -> StabilizerCode:
     raise ValueError(f"unknown code family {family!r}")
 
 
+def _code_unit_fields(code: StabilizerCode) -> dict:
+    """(family, distance, code) WorkUnit fields for an explicit code object."""
+    return {
+        "family": str(code.metadata.get("family", code.name)),
+        "distance": code.distance,
+        "code": code,
+    }
+
+
 def compare_policies(
     code: StabilizerCode,
     noise: NoiseParams,
@@ -98,23 +155,27 @@ def compare_policies(
     leakage_sampling: bool = True,
     policy_config: GraphModelConfig | None = None,
 ) -> list[dict]:
-    """Undecoded comparison: leakage population, LRC usage and FP/FN rates."""
-    summaries = []
-    for policy_name in policy_names:
-        policy = make_policy(policy_name, config=policy_config)
-        simulator = LeakageSimulator(
-            code=code,
+    """Undecoded comparison: leakage population, LRC usage and FP/FN rates.
+
+    Returns one summary row per entry of ``policy_names`` (see the module
+    docstring for the units of every key); each row additionally carries the
+    full ``dlp_per_round`` array for time-series figures.
+    """
+    units = [
+        WorkUnit(
             noise=noise,
-            policy=policy,
-            options=SimulatorOptions(leakage_sampling=leakage_sampling),
+            policy=policy_name,
+            shots=shots,
+            rounds=rounds,
+            decoded=False,
+            leakage_sampling=leakage_sampling,
             seed=seed,
+            policy_config=policy_config,
+            **_code_unit_fields(code),
         )
-        result = simulator.run(shots=shots, rounds=rounds)
-        summary = result.summary()
-        summary["code"] = code.name
-        summary["dlp_per_round"] = result.dlp_per_round
-        summaries.append(summary)
-    return summaries
+        for policy_name in policy_names
+    ]
+    return default_executor().run_units(units)
 
 
 def compare_policies_decoded(
@@ -128,21 +189,28 @@ def compare_policies_decoded(
     policy_config: GraphModelConfig | None = None,
     decoder_method: str = "matching",
 ) -> list[dict]:
-    """Decoded comparison: logical error rate plus the undecoded metrics."""
-    summaries = []
-    for policy_name in policy_names:
-        policy = make_policy(policy_name, config=policy_config)
-        experiment = MemoryExperiment(
-            code=code,
+    """Decoded comparison: logical error rate plus the undecoded metrics.
+
+    Each row reports the whole-experiment ``ler`` (a probability, with its
+    95% Wilson interval in ``ler_low``/``ler_high``) and the per-round rates
+    documented in the module docstring.
+    """
+    units = [
+        WorkUnit(
             noise=noise,
-            policy=policy,
-            decoder_method=decoder_method,
+            policy=policy_name,
+            shots=shots,
+            rounds=rounds,
+            decoded=True,
             leakage_sampling=leakage_sampling,
+            decoder_method=decoder_method,
             seed=seed,
+            policy_config=policy_config,
+            **_code_unit_fields(code),
         )
-        result = experiment.run(shots=shots, rounds=rounds)
-        summaries.append(result.summary())
-    return summaries
+        for policy_name in policy_names
+    ]
+    return default_executor().run_units(units)
 
 
 def sweep_distances(
@@ -160,29 +228,32 @@ def sweep_distances(
 
     ``rounds_per_distance`` is either an integer or a callable mapping the
     distance to the number of rounds (the paper uses ``10 d`` for LER studies
-    and ``100 d`` for leakage-population studies).
+    and ``100 d`` for leakage-population studies).  Every returned row is
+    stamped with its ``distance`` grid coordinate.
     """
-    summaries = []
+    units = []
     for distance in distances:
-        code = make_code(family, distance)
         rounds = (
             rounds_per_distance(distance)
             if callable(rounds_per_distance)
             else int(rounds_per_distance)
         )
-        runner = compare_policies_decoded if decoded else compare_policies
-        for summary in runner(
-            code,
-            noise,
-            policy_names,
-            shots=shots,
-            rounds=rounds,
-            seed=seed,
-            leakage_sampling=leakage_sampling,
-        ):
-            summary["distance"] = distance
-            summaries.append(summary)
-    return summaries
+        for policy_name in policy_names:
+            units.append(
+                WorkUnit(
+                    family=family,
+                    distance=int(distance),
+                    noise=noise,
+                    policy=policy_name,
+                    shots=shots,
+                    rounds=rounds,
+                    decoded=decoded,
+                    leakage_sampling=leakage_sampling,
+                    seed=seed,
+                    labels=(("distance", int(distance)),),
+                )
+            )
+    return default_executor().run_units(units)
 
 
 def sweep_error_rates(
@@ -197,22 +268,27 @@ def sweep_error_rates(
     seed: int = 0,
     leakage_sampling: bool = True,
 ) -> list[dict]:
-    """Run a policy comparison for every physical error rate in ``error_rates``."""
-    summaries = []
-    code = make_code(family, distance)
+    """Run a policy comparison for every physical error rate in ``error_rates``.
+
+    Every returned row is stamped with its ``p`` and ``leakage_ratio`` grid
+    coordinates.
+    """
+    units = []
     for p in error_rates:
         noise = paper_noise(p=p, leakage_ratio=leakage_ratio)
-        runner = compare_policies_decoded if decoded else compare_policies
-        for summary in runner(
-            code,
-            noise,
-            policy_names,
-            shots=shots,
-            rounds=rounds,
-            seed=seed,
-            leakage_sampling=leakage_sampling,
-        ):
-            summary["p"] = p
-            summary["leakage_ratio"] = leakage_ratio
-            summaries.append(summary)
-    return summaries
+        for policy_name in policy_names:
+            units.append(
+                WorkUnit(
+                    family=family,
+                    distance=int(distance),
+                    noise=noise,
+                    policy=policy_name,
+                    shots=shots,
+                    rounds=rounds,
+                    decoded=decoded,
+                    leakage_sampling=leakage_sampling,
+                    seed=seed,
+                    labels=(("p", float(p)), ("leakage_ratio", float(leakage_ratio))),
+                )
+            )
+    return default_executor().run_units(units)

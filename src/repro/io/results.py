@@ -2,7 +2,35 @@
 
 Benchmarks write their summary rows as JSON so the tables and figures can be
 regenerated or compared across runs without re-simulating; the helpers here
-keep that serialisation in one place and NumPy-safe.
+keep that serialisation in one place and NumPy-safe.  The sweep cache
+(:mod:`repro.sweeps.cache`) serialises the same rows through
+:func:`_jsonable`, so the conventions below are load-bearing for cache
+round-trips, not just for human-readable output files.
+
+Units of the serialised summary keys
+------------------------------------
+The metric dictionaries stored in a :class:`ResultRecord` come from
+``RunResult.summary()`` / ``MemoryResult.summary()`` and mix three kinds of
+quantities that are easy to confuse once they are flat JSON numbers:
+
+* **Populations** (``mean_dlp``, ``final_dlp``, ``leakage_equilibrium``,
+  ``dlp_per_round`` entries) are *fractions of data qubits* in ``[0, 1]``,
+  averaged over the shot batch.
+* **Per-round-per-shot rates** (``lrcs_per_round``, ``fp_per_round``,
+  ``fn_per_round``, ``speculation_inaccuracy``) are average *counts* per
+  QEC round per shot; they can exceed 1 on large codes (many qubits can be
+  treated in one round).
+* **Totals** (``total_leakage_events``, ``shots``, ``rounds``,
+  ``failures``) are raw counts summed over the entire run — divide by
+  ``shots * rounds`` (or ``shots``) yourself before comparing runs of
+  different sizes.
+* **Probabilities** (``ler``, ``ler_low``, ``ler_high``,
+  ``ler_per_round``) are logical-error probabilities in ``[0, 1]``;
+  ``ler`` is per whole experiment, ``ler_per_round`` its per-round
+  equivalent.
+
+Arrays (``dlp_per_round``) are serialised as JSON lists; loaders that need
+NumPy semantics back must convert explicitly (the sweep cache does).
 """
 
 from __future__ import annotations

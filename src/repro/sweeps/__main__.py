@@ -1,0 +1,118 @@
+"""Command-line entry point: run a named sweep and persist its rows.
+
+Examples
+--------
+List the available sweeps::
+
+    PYTHONPATH=src python -m repro.sweeps --list
+
+Run the Figure 10 workload on 4 workers with memoization::
+
+    PYTHONPATH=src python -m repro.sweeps dlp-surface --workers 4
+
+Re-running the same command hits the on-disk cache and finishes in well
+under a second; ``--no-cache`` forces recomputation and ``--clear-cache``
+wipes the cache directory first.  Results are written as JSON records
+(:mod:`repro.io.results`) under ``results/sweep_<name>.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .cache import SweepCache, default_cache_dir
+from .executor import SweepExecutor, default_workers
+from .registry import build_sweep, sweep_names
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweeps",
+        description="Run a named experiment sweep on a process pool.",
+    )
+    parser.add_argument("sweep", nargs="?", help=f"one of: {', '.join(sweep_names())}")
+    parser.add_argument("--list", action="store_true", help="list available sweeps and exit")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: REPRO_WORKERS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or .repro_cache)",
+    )
+    parser.add_argument("--no-cache", action="store_true", help="disable memoization")
+    parser.add_argument(
+        "--clear-cache", action="store_true", help="wipe the cache before running"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output JSON path (default: results/sweep_<name>.json)",
+    )
+    parser.add_argument(
+        "--results-dir", default=None, help="directory for the default output path"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list or not args.sweep:
+        for name in sweep_names():
+            print(name)
+        return 0 if args.list else 2
+
+    from ..io import ResultRecord, format_table, results_dir, save_records
+
+    try:
+        spec = build_sweep(args.sweep)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else SweepCache(args.cache_dir or default_cache_dir())
+    if cache is not None and args.clear_cache:
+        removed = cache.clear()
+        print(f"cleared {removed} cache entries from {cache.root}")
+    executor = SweepExecutor(workers=args.workers, cache=cache)
+
+    started = time.perf_counter()
+    rows = executor.run(spec)
+    elapsed = time.perf_counter() - started
+
+    display = [
+        {key: value for key, value in row.items() if not hasattr(value, "shape")}
+        for row in rows
+    ]
+    print(format_table(display))
+    print(
+        f"{len(rows)} rows in {elapsed:.2f}s "
+        f"({executor.units_computed} computed, {executor.units_from_cache} cached, "
+        f"{executor.shards_executed} shards, "
+        f"{executor.workers if executor.workers else default_workers()} workers)"
+    )
+
+    out = args.out
+    if out is None:
+        out = results_dir(args.results_dir) / f"sweep_{spec.name}.json"
+    records = [
+        ResultRecord(
+            experiment=f"sweep_{spec.name}",
+            parameters={"sweep": spec.name, "shots": spec.shots, "seed": spec.seed},
+            metrics=row,
+        )
+        for row in rows
+    ]
+    path = save_records(records, out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,282 @@
+"""Parallel sweep execution with shot-sharding and on-disk memoization.
+
+The :class:`SweepExecutor` takes the independent work units a
+:class:`~repro.sweeps.spec.SweepSpec` compiles to, splits each unit's shot
+budget into fixed-size shards, and runs every (unit, shard) task on a
+``multiprocessing`` pool.  Three properties matter:
+
+* **Deterministic sharding** — the shard plan depends only on the unit's
+  shot budget and the executor's ``shard_shots``, never on the worker
+  count, so results are bit-identical whether 2 or 16 workers ran them.
+* **Deterministic seeding** — each shard's RNG seed is derived from the
+  unit's content hash and the shard index through
+  ``numpy.random.SeedSequence.spawn``, so shards are statistically
+  independent yet fully reproducible.
+* **Memoization** — completed units are summarised and written to the
+  :class:`~repro.sweeps.cache.SweepCache`; identical re-runs load from disk
+  without touching the pool.
+
+Workers default to the ``REPRO_WORKERS`` environment variable (``1`` =
+serial, the legacy bit-exact path) so existing entry points opt into
+parallelism without code changes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from .cache import SweepCache
+from .spec import SweepSpec
+from .units import (
+    WorkUnit,
+    apply_unit_labels,
+    merge_shards,
+    run_shard,
+    summarize_unit,
+    unit_key,
+)
+
+__all__ = [
+    "SweepExecutor",
+    "plan_shards",
+    "shard_seeds",
+    "default_workers",
+    "default_executor",
+    "cache_enabled",
+]
+
+#: Default shot budget per shard; matches the decoded path's internal batch
+#: size so a shard is one decode batch.
+DEFAULT_SHARD_SHOTS = 250
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (default 1 = serial legacy path)."""
+    raw = os.environ.get("REPRO_WORKERS", "1")
+    try:
+        return max(1, int(raw))
+    except ValueError as exc:
+        raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}") from exc
+
+
+def plan_shards(shots: int, shard_shots: int) -> list[int]:
+    """Split a shot budget into shard sizes; independent of the worker count."""
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    if shard_shots <= 0:
+        raise ValueError("shard_shots must be positive")
+    full, remainder = divmod(shots, shard_shots)
+    plan = [shard_shots] * full
+    if remainder:
+        plan.append(remainder)
+    return plan
+
+
+def shard_seeds(unit: WorkUnit, num_shards: int) -> list[int]:
+    """Derive one reproducible RNG seed per shard of a unit.
+
+    The entropy pool is the unit's content hash (so different grid points
+    never share streams even with the same base seed) combined with the
+    base seed; ``SeedSequence.spawn`` then gives statistically independent
+    children, one per shard index.
+    """
+    digest = unit_key(unit)
+    entropy = [int(digest[offset : offset + 8], 16) for offset in range(0, 32, 8)]
+    root = np.random.SeedSequence([unit.seed & 0xFFFFFFFF, *entropy])
+    return [
+        int(child.generate_state(1, dtype=np.uint32)[0])
+        for child in root.spawn(num_shards)
+    ]
+
+
+def _pool_run_shard(unit: WorkUnit, shots: int, seed: int) -> dict[str, Any]:
+    """Module-level trampoline so (unit, shard) tasks pickle into workers."""
+    return run_shard(unit, shots, seed)
+
+
+def _worker_init(src_path: str) -> None:
+    """Make the in-tree package importable in spawned workers."""
+    if src_path and src_path not in sys.path:
+        sys.path.insert(0, src_path)
+
+
+class SweepExecutor:
+    """Execute work units on a process pool, with sharding and memoization.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``None`` reads ``REPRO_WORKERS``; ``1`` runs
+        everything in-process as a single shard per unit, which is
+        bit-identical to the legacy serial runner functions.
+    cache:
+        A :class:`SweepCache`, a directory path for one, or ``None`` to
+        disable memoization entirely.
+    shard_shots:
+        Shot budget per shard when running in parallel.  Smaller shards give
+        better load balancing; larger shards amortise per-process policy
+        preparation.  The shard plan never depends on ``workers``.
+
+    Attributes
+    ----------
+    units_computed / units_from_cache:
+        Counters across this executor's lifetime, used by tests and the CLI
+        to verify that re-runs skip recomputation.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        cache: SweepCache | str | Path | None = None,
+        shard_shots: int = DEFAULT_SHARD_SHOTS,
+    ) -> None:
+        self.workers = default_workers() if workers is None else max(1, int(workers))
+        if cache is None:
+            self.cache: SweepCache | None = None
+        elif isinstance(cache, SweepCache):
+            self.cache = cache
+        else:
+            self.cache = SweepCache(cache)
+        self.shard_shots = int(shard_shots)
+        self.units_computed = 0
+        self.units_from_cache = 0
+        self.shards_executed = 0
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+    def run(self, spec: SweepSpec) -> list[dict[str, Any]]:
+        """Compile a spec and execute it; returns one summary row per unit."""
+        return self.run_units(spec.units())
+
+    def run_units(self, units: Sequence[WorkUnit]) -> list[dict[str, Any]]:
+        """Execute work units; rows come back in the order units were given."""
+        rows: list[dict[str, Any] | None] = [None] * len(units)
+        pending: list[tuple[int, WorkUnit, str]] = []
+        for index, unit in enumerate(units):
+            sizes = tuple(shots for shots, _ in self.effective_plan(unit))
+            key = unit_key(unit, sizes)
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                self.units_from_cache += 1
+                rows[index] = apply_unit_labels(unit, cached)
+            else:
+                pending.append((index, unit, key))
+
+        if pending:
+            for (index, unit, key), row in zip(
+                pending, self._compute([u for _, u, _ in pending])
+            ):
+                if self.cache is not None:
+                    self.cache.put(key, row)
+                rows[index] = apply_unit_labels(unit, row)
+        return rows  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # Computation
+    # ------------------------------------------------------------------ #
+    def shard_plan(self, unit: WorkUnit) -> list[tuple[int, int]]:
+        """(shots, seed) of every shard of a unit, independent of pool size.
+
+        A unit that fits in one shard keeps its own base seed, so serial and
+        single-shard parallel runs agree bit-for-bit with the legacy path.
+        """
+        sizes = plan_shards(unit.shots, self.shard_shots)
+        if len(sizes) == 1:
+            return [(sizes[0], unit.seed)]
+        return list(zip(sizes, shard_seeds(unit, len(sizes))))
+
+    def effective_plan(self, unit: WorkUnit) -> list[tuple[int, int]]:
+        """The (shots, seed) plan this executor will actually run for a unit.
+
+        Serial executors always run one legacy-exact shard; parallel ones use
+        :meth:`shard_plan`.  The cache key is derived from this plan so rows
+        computed under different sharding never substitute for each other.
+        """
+        if self.workers <= 1:
+            return [(unit.shots, unit.seed)]
+        return self.shard_plan(unit)
+
+    def _compute(self, units: list[WorkUnit]) -> Iterable[dict[str, Any]]:
+        """Run uncached units, sharded across the pool; yields label-free rows."""
+        if self.workers <= 1:
+            # Serial mode runs each unit as ONE shard with its own base seed —
+            # bit-identical to the legacy runner functions, so results (and the
+            # qualitative assertions in the benchmark suite) are unchanged
+            # when nobody asks for parallelism.
+            for unit in units:
+                payloads = [
+                    run_shard(unit, shots, seed) for shots, seed in self.effective_plan(unit)
+                ]
+                self.shards_executed += len(payloads)
+                self.units_computed += 1
+                yield summarize_unit(unit, merge_shards(unit, payloads), apply_labels=False)
+            return
+
+        tasks: list[tuple[WorkUnit, int, int]] = []
+        boundaries: list[int] = []
+        for unit in units:
+            plan = self.effective_plan(unit)
+            tasks.extend((unit, shots, seed) for shots, seed in plan)
+            boundaries.append(len(plan))
+
+        src_path = str(Path(__file__).resolve().parent.parent.parent)
+        context = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        with context.Pool(
+            processes=min(self.workers, len(tasks)),
+            initializer=_worker_init,
+            initargs=(src_path,),
+        ) as pool:
+            payloads = pool.starmap(_pool_run_shard, tasks, chunksize=1)
+        self.shards_executed += len(tasks)
+
+        cursor = 0
+        for unit, count in zip(units, boundaries):
+            shard_payloads = payloads[cursor : cursor + count]
+            cursor += count
+            self.units_computed += 1
+            yield summarize_unit(
+                unit, merge_shards(unit, shard_payloads), apply_labels=False
+            )
+
+
+# --------------------------------------------------------------------- #
+# Shared default executor (used by the legacy runner wrappers)
+# --------------------------------------------------------------------- #
+def cache_enabled() -> bool:
+    """Whether the ``REPRO_CACHE`` environment knob turns memoization on."""
+    return os.environ.get("REPRO_CACHE", "").lower() in ("1", "true", "yes", "on")
+
+
+_default_executor: SweepExecutor | None = None
+_default_config: tuple[int, bool, str] | None = None
+
+
+def default_executor() -> SweepExecutor:
+    """The process-wide executor the legacy sweep functions delegate to.
+
+    Configured entirely from the environment — ``REPRO_WORKERS`` processes
+    (default 1 = serial, bit-identical to the historical code path),
+    ``REPRO_CACHE=1`` for on-disk memoization, and ``REPRO_CACHE_DIR`` for
+    its location — and rebuilt whenever any of those knobs change, so tests
+    can flip them with ``monkeypatch.setenv``.
+    """
+    from .cache import default_cache_dir
+
+    global _default_executor, _default_config
+    config = (default_workers(), cache_enabled(), str(default_cache_dir()))
+    if _default_executor is None or _default_config != config:
+        workers, use_cache, _ = config
+        _default_executor = SweepExecutor(
+            workers=workers, cache=SweepCache() if use_cache else None
+        )
+        _default_config = config
+    return _default_executor

@@ -1,0 +1,126 @@
+"""Named sweep presets runnable from the ``python -m repro.sweeps`` CLI.
+
+Each preset is a factory taking the active :class:`ScaleConfig` (the
+``REPRO_SCALE`` knob) and returning a :class:`SweepSpec`.  The presets mirror
+the paper's figure workloads so a user can regenerate a figure's data
+without driving pytest-benchmark, and a ``smoke`` preset keeps CI and the
+CLI tests fast.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .spec import SweepSpec
+
+__all__ = ["NAMED_SWEEPS", "build_sweep", "sweep_names"]
+
+#: Policies compared in most closed-loop studies, in the paper's order.
+CLOSED_LOOP_POLICIES = (
+    "eraser",
+    "gladiator",
+    "gladiator-d",
+    "eraser+m",
+    "gladiator+m",
+    "gladiator-d+m",
+)
+
+
+def _smoke(scale) -> SweepSpec:
+    return SweepSpec(
+        name="smoke",
+        distances=(3,),
+        policies=("eraser+m", "gladiator+m"),
+        shots=scale.shots(40),
+        rounds=scale.rounds(8),
+        seed=7,
+    )
+
+
+def _policy_compare_d7(scale) -> SweepSpec:
+    return SweepSpec(
+        name="policy-compare-d7",
+        distances=(7,),
+        policies=CLOSED_LOOP_POLICIES,
+        shots=scale.shots(300),
+        rounds=scale.rounds(70),
+        seed=1,
+    )
+
+
+def _dlp_surface(scale) -> SweepSpec:
+    # Figure 10: long-run data-leakage population at two leakage ratios.
+    return SweepSpec(
+        name="dlp-surface",
+        distances=(7,) if scale.name != "paper" else (11,),
+        leakage_ratios=(0.1, 1.0),
+        policies=("eraser+m", "gladiator+m", "gladiator-d+m", "ideal"),
+        shots=scale.shots(200),
+        rounds=scale.rounds(150),
+        seed=10,
+    )
+
+
+def _ler_scaling(scale) -> SweepSpec:
+    # Figure 12: decoded logical error rate vs code distance.
+    return SweepSpec(
+        name="ler-scaling",
+        distances=(3, 5) if scale.name != "paper" else (3, 5, 7),
+        leakage_ratios=(1.0,),
+        policies=("no-lrc", "always-lrc", "eraser+m", "gladiator+m"),
+        shots=scale.decoded_shots(400),
+        rounds=lambda distance: 4 * distance,
+        decoded=True,
+        seed=12,
+    )
+
+
+def _error_rate_sensitivity(scale) -> SweepSpec:
+    # Figure 13: sensitivity of LRC usage and accuracy to the error rate.
+    return SweepSpec(
+        name="error-rate-sensitivity",
+        distances=(5,),
+        error_rates=(1e-3, 1e-4),
+        policies=("eraser+m", "gladiator+m", "gladiator-d+m"),
+        shots=scale.shots(300),
+        rounds=scale.rounds(60),
+        seed=13,
+    )
+
+
+def _distance_sensitivity(scale) -> SweepSpec:
+    # Figure 14: total leakage events and LRC usage vs distance.
+    return SweepSpec(
+        name="distance-sensitivity",
+        distances=(5, 7, 9) if scale.name != "paper" else (7, 11, 13, 17),
+        policies=("eraser+m", "gladiator+m", "ideal"),
+        shots=scale.shots(150),
+        rounds=lambda distance: scale.rounds(10 * distance),
+        seed=14,
+    )
+
+
+NAMED_SWEEPS: dict[str, Callable[..., SweepSpec]] = {
+    "smoke": _smoke,
+    "policy-compare-d7": _policy_compare_d7,
+    "dlp-surface": _dlp_surface,
+    "ler-scaling": _ler_scaling,
+    "error-rate-sensitivity": _error_rate_sensitivity,
+    "distance-sensitivity": _distance_sensitivity,
+}
+
+
+def sweep_names() -> list[str]:
+    """Names accepted by :func:`build_sweep` and the CLI, sorted."""
+    return sorted(NAMED_SWEEPS)
+
+
+def build_sweep(name: str, scale=None) -> SweepSpec:
+    """Instantiate a named sweep at the active (or given) workload scale."""
+    if name not in NAMED_SWEEPS:
+        raise ValueError(f"unknown sweep {name!r}; known: {sweep_names()}")
+    if scale is None:
+        from ..experiments.runner import current_scale
+
+        scale = current_scale()
+    return NAMED_SWEEPS[name](scale)

@@ -1,0 +1,115 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names a full experiment grid — code family x distance x
+noise point x policy — plus the per-point workload (shots, rounds, decoded
+or not).  ``units()`` compiles the grid into independent
+:class:`~repro.sweeps.units.WorkUnit` jobs, each labelled with its grid
+coordinates so the executor's summary rows can be grouped and tabulated
+exactly like the legacy serial sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from .units import WorkUnit, make_unit_noise
+
+__all__ = ["SweepSpec"]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Grid of (family, distance, error rate, leakage ratio, policy) points.
+
+    Attributes
+    ----------
+    name:
+        Identifier used for result files and progress messages.
+    family:
+        Code family understood by :func:`repro.experiments.make_code`
+        (``surface``, ``color``, ``hgp``, ``bpc``).
+    distances:
+        Code distances to sweep.  Families without a distance knob (``hgp``,
+        ``bpc``) should pass a single placeholder entry.
+    error_rates / leakage_ratios:
+        Physical error rates ``p`` and leakage ratios ``lr`` fed to
+        :func:`repro.noise.paper_noise` (so ``p_leak = lr * p``).
+    policies:
+        Policy names understood by :func:`repro.core.make_policy`.
+    shots:
+        Shot budget of every grid point (the executor shards this).
+    rounds:
+        QEC rounds per shot: either an integer or a callable mapping the
+        distance to a round count (the paper uses ``10 d`` and ``100 d``).
+        Callables are resolved at compile time, so cache keys always see the
+        concrete integer.
+    decoded:
+        If True each point is a decoded memory experiment reporting a
+        logical error rate; otherwise an undecoded leakage-population run.
+    leakage_sampling:
+        Seed one leaked data qubit per shot (Section 6 leakage sampling).
+        Defaults to the legacy convention: on for undecoded sweeps, off for
+        decoded ones.
+    decoder_method:
+        Decoder backend for decoded sweeps (``matching`` or ``union-find``).
+    seed:
+        Base seed; every unit derives its shard seeds from this plus its own
+        cache key, so grid points are statistically independent.
+    """
+
+    name: str
+    family: str = "surface"
+    distances: Sequence[int] = (7,)
+    error_rates: Sequence[float] = (1e-3,)
+    leakage_ratios: Sequence[float] = (0.1,)
+    policies: Sequence[str] = ("eraser+m", "gladiator+m")
+    shots: int = 200
+    rounds: int | Callable[[int], int] = 30
+    decoded: bool = False
+    leakage_sampling: bool | None = None
+    decoder_method: str = "matching"
+    seed: int = 0
+    extra_labels: tuple[tuple[str, object], ...] = field(default_factory=tuple)
+
+    def rounds_for(self, distance: int) -> int:
+        """Resolve the per-distance round count to a concrete integer."""
+        if callable(self.rounds):
+            return int(self.rounds(distance))
+        return int(self.rounds)
+
+    def units(self) -> list[WorkUnit]:
+        """Compile the grid into independent work units, in deterministic order."""
+        sampling = (
+            self.leakage_sampling
+            if self.leakage_sampling is not None
+            else not self.decoded
+        )
+        compiled: list[WorkUnit] = []
+        for distance in self.distances:
+            rounds = self.rounds_for(distance)
+            for p in self.error_rates:
+                for leakage_ratio in self.leakage_ratios:
+                    noise = make_unit_noise(p, leakage_ratio)
+                    for policy in self.policies:
+                        compiled.append(
+                            WorkUnit(
+                                family=self.family,
+                                distance=int(distance),
+                                noise=noise,
+                                policy=policy,
+                                shots=int(self.shots),
+                                rounds=rounds,
+                                decoded=self.decoded,
+                                leakage_sampling=sampling,
+                                decoder_method=self.decoder_method,
+                                seed=int(self.seed),
+                                labels=(
+                                    ("distance", int(distance)),
+                                    ("p", float(p)),
+                                    ("leakage_ratio", float(leakage_ratio)),
+                                )
+                                + tuple(self.extra_labels),
+                            )
+                        )
+        return compiled

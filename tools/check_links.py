@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Verify that relative Markdown links in the docs resolve to real files.
+
+Scans the given Markdown files (default: README.md and everything under
+docs/) for ``[text](target)`` links, skips external URLs and pure anchors,
+and fails with a non-zero exit code if any relative target does not exist.
+Used by the CI docs job; run locally with::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def check_file(path: Path) -> list[str]:
+    """Return one error string per broken relative link in ``path``."""
+    errors = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        for target in LINK_PATTERN.findall(line):
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                errors.append(f"{path}:{number}: broken link -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [root / "README.md", *sorted((root / "docs").glob("**/*.md"))]
+    errors: list[str] = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path}: file not found")
+            continue
+        checked += 1
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
