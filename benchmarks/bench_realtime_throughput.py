@@ -1,0 +1,91 @@
+"""Realtime decoding throughput: streams/sec and per-round latency vs window.
+
+Drives the :mod:`repro.realtime` decode service with four concurrent
+GLADIATOR+M syndrome streams per window size and reports, per window size,
+the service throughput (streams/sec, rounds/sec) and the p50/p99 per-round
+decode latency, priced against the microarchitecture round cadence
+(``realtime_factor`` = hardware budget / measured decode time).  The rows
+land in ``results/BENCH_realtime.json`` so the perf trajectory of the
+streaming pipeline has data points alongside the figure benchmarks.
+"""
+
+import time
+
+from _common import current_scale, emit, format_table, run_once, save
+
+from repro.core import make_policy
+from repro.experiments import make_code
+from repro.noise import paper_noise
+from repro.realtime import DecodeService, SimulatorStream
+
+#: Concurrent streams per window size (the acceptance floor is 4).
+NUM_STREAMS = 4
+WINDOW_SIZES = (4, 8, 16)
+
+
+def test_realtime_throughput(benchmark):
+    scale = current_scale()
+    code = make_code("surface", 3)
+    noise = paper_noise(p=1e-3, leakage_ratio=1.0)
+    shots = scale.decoded_shots(60)
+    rounds = scale.rounds(24)
+
+    def workload():
+        rows = []
+        for window in WINDOW_SIZES:
+            streams = [
+                SimulatorStream(
+                    code=code,
+                    noise=noise,
+                    policy=make_policy("gladiator+m"),
+                    shots=shots,
+                    rounds=rounds,
+                    seed=31 + 17 * index,
+                )
+                for index in range(NUM_STREAMS)
+            ]
+            service = DecodeService(window_rounds=window, workers=NUM_STREAMS)
+            started = time.perf_counter()
+            reports = service.run(streams)
+            elapsed = time.perf_counter() - started
+            summaries = [report.summary() for report in reports]
+            rows.append(
+                {
+                    "window": window,
+                    "streams": len(reports),
+                    "shots": shots,
+                    "rounds": rounds,
+                    "windows_decoded": sum(s["windows"] for s in summaries),
+                    "streams_per_second": len(reports) / elapsed,
+                    "rounds_per_second": sum(s["rounds_per_second"] for s in summaries),
+                    "round_latency_p50": max(s["round_latency_p50"] for s in summaries),
+                    "round_latency_p99": max(s["round_latency_p99"] for s in summaries),
+                    "mean_queue_wait": sum(s["mean_queue_wait"] for s in summaries)
+                    / len(summaries),
+                    "realtime_factor": min(s["realtime_factor"] for s in summaries),
+                    "failures": sum(s["failures"] for s in summaries),
+                    "per_stream": summaries,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, workload)
+    table = [{k: v for k, v in row.items() if k != "per_stream"} for row in rows]
+    emit(
+        "Realtime decode service: throughput and latency vs window size",
+        format_table(table),
+    )
+    save(
+        "BENCH_realtime",
+        {"streams": NUM_STREAMS, "shots": shots, "rounds": rounds, "policy": "gladiator+M"},
+        rows,
+    )
+
+    # Shape: every configuration served all four streams, decoded every
+    # round, and produced finite latency accounting.
+    for row in rows:
+        assert row["streams"] == NUM_STREAMS
+        assert row["windows_decoded"] >= NUM_STREAMS
+        assert row["round_latency_p50"] > 0
+        assert row["round_latency_p99"] >= row["round_latency_p50"]
+        assert all(s["rounds_committed"] == rounds for s in row["per_stream"])

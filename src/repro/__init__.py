@@ -56,6 +56,7 @@ from .experiments import (
     sweep_error_rates,
 )
 from .noise import NoiseParams, ideal_noise, paper_noise
+from .realtime import DecodeService, ReplayStream, SimulatorStream, WindowedDecoder
 from .sim import LeakageSimulator, RunResult, SimulatorOptions
 from .sweeps import SweepCache, SweepExecutor, SweepSpec, WorkUnit
 
@@ -106,4 +107,9 @@ __all__ = [
     "SweepExecutor",
     "SweepCache",
     "WorkUnit",
+    # realtime decoding
+    "SimulatorStream",
+    "ReplayStream",
+    "WindowedDecoder",
+    "DecodeService",
 ]

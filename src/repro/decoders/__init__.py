@@ -1,16 +1,45 @@
 """Decoders for memory experiments (MWPM and union-find)."""
 
 from .detector_graph import DetectorGraph, GraphEdge
-from .matching import MatchingDecoder
+from .matching import STRATEGIES, MatchingDecoder
 from .union_find import UnionFindDecoder
 
-__all__ = ["DetectorGraph", "GraphEdge", "MatchingDecoder", "UnionFindDecoder"]
+__all__ = [
+    "DetectorGraph",
+    "GraphEdge",
+    "MatchingDecoder",
+    "UnionFindDecoder",
+    "STRATEGIES",
+    "make_decoder",
+]
 
 
-def make_decoder(graph: DetectorGraph, method: str = "matching"):
-    """Factory: ``"matching"`` for MWPM, ``"union_find"`` for the UF decoder."""
+def make_decoder(
+    graph: DetectorGraph,
+    method: str = "matching",
+    *,
+    max_exact_nodes: int | None = None,
+    strategy: str | None = None,
+):
+    """Factory: ``"matching"`` for MWPM, ``"union_find"`` for the UF decoder.
+
+    ``max_exact_nodes`` and ``strategy`` tune the matching decoder's
+    exact-vs-greedy trade-off (see :class:`MatchingDecoder`); they are
+    rejected for decoders that have no such knob so a sweep cannot silently
+    ignore a requested configuration.
+    """
+    method = method.replace("-", "_")
     if method == "matching":
-        return MatchingDecoder(graph)
+        kwargs: dict = {}
+        if max_exact_nodes is not None:
+            kwargs["max_exact_nodes"] = int(max_exact_nodes)
+        if strategy is not None:
+            kwargs["strategy"] = strategy
+        return MatchingDecoder(graph, **kwargs)
     if method == "union_find":
+        if max_exact_nodes is not None or strategy is not None:
+            raise ValueError(
+                "max_exact_nodes/strategy only apply to the matching decoder"
+            )
         return UnionFindDecoder(graph)
     raise ValueError(f"unknown decoder method {method!r}")

@@ -42,13 +42,29 @@ class GraphEdge:
 
 @dataclass
 class DetectorGraph:
-    """Decoding graph of a memory-Z experiment with ``rounds`` QEC rounds."""
+    """Decoding graph of a memory-Z experiment with ``rounds`` QEC rounds.
+
+    ``hyperedges`` selects what happens on codes where a data qubit touches
+    more than two Z stabilizers (colour codes, product codes):
+
+    * ``"reject"`` (default) raises, preserving the strict matching
+      precondition,
+    * ``"decompose"`` chains the k adjacent stabilizers into k-1 pairwise
+      space edges (the first carrying the qubit's logical-flip parity), a
+      standard approximation that lets matching and union-find run on
+      hyperedge codes at reduced accuracy.
+    """
 
     code: StabilizerCode
     rounds: int
     noise: NoiseParams = field(default_factory=NoiseParams)
+    hyperedges: str = "reject"
 
     def __post_init__(self) -> None:
+        if self.hyperedges not in ("reject", "decompose"):
+            raise ValueError(
+                f"hyperedges must be 'reject' or 'decompose', got {self.hyperedges!r}"
+            )
         self._z_stabs = [s for s in self.code.stabilizers if s.basis == "Z"]
         if not self._z_stabs:
             raise ValueError("code has no Z stabilizers; nothing to decode")
@@ -57,11 +73,11 @@ class DetectorGraph:
             for qubit in stab.data_support:
                 adjacency[qubit].append(local)
         too_many = [q for q, stabs in adjacency.items() if len(stabs) > 2]
-        if too_many:
+        if too_many and self.hyperedges == "reject":
             raise ValueError(
                 "matching decoder requires each data qubit to touch at most two "
                 f"Z stabilizers; qubits {too_many[:5]} violate this (use a "
-                "different decoder for this code)"
+                "different decoder for this code, or hyperedges='decompose')"
             )
         self._data_to_z = adjacency
 
@@ -96,6 +112,57 @@ class DetectorGraph:
     # Edges
     # ------------------------------------------------------------------ #
     @cached_property
+    def _chain_pairs(self) -> dict[tuple[int, int], bool]:
+        """Hyperedge decomposition: unique chained stabilizer pairs -> flips.
+
+        Each data qubit touching ``k > 2`` Z stabilizers contributes the
+        ``k - 1`` consecutive pairs of its chain; a qubit on the logical
+        support must flip the observable exactly once along its chain, so
+        its flip is placed on a pair no other qubit (regular or chained)
+        also uses where possible — parallel edges with conflicting
+        ``flips_logical`` would otherwise be collapsed arbitrarily by the
+        edge lookup.  One shared edge per pair is emitted, never duplicates.
+        """
+        logical_support = set(np.nonzero(self.code.logical_z)[0].tolist())
+        regular_pairs = {
+            tuple(sorted(stabs))
+            for stabs in self._data_to_z.values()
+            if len(stabs) == 2
+        }
+        chains = {
+            qubit: [
+                tuple(sorted(pair))
+                for pair in zip(stabs, stabs[1:])
+            ]
+            for qubit, stabs in sorted(self._data_to_z.items())
+            if len(stabs) > 2
+        }
+        usage: dict[tuple[int, int], int] = {}
+        for pairs in chains.values():
+            for pair in pairs:
+                usage[pair] = usage.get(pair, 0) + 1
+        chain_pairs: dict[tuple[int, int], bool] = {pair: False for pair in usage}
+        for qubit, pairs in chains.items():
+            if qubit not in logical_support:
+                continue
+            # Prefer a pair private to this qubit's chain; fall back to the
+            # first pair (best-effort: a shared pair cannot satisfy both
+            # qubits' parities at once).
+            target = next(
+                (p for p in pairs if usage[p] == 1 and p not in regular_pairs),
+                pairs[0],
+            )
+            chain_pairs[target] = True
+        # Pairs also present as a regular two-stabilizer edge are dropped:
+        # that edge already exists with its own qubit's parity, and emitting
+        # a second copy would double the pair's weight in the sparse matrix.
+        return {
+            pair: flips
+            for pair, flips in chain_pairs.items()
+            if pair not in regular_pairs
+        }
+
+    @cached_property
     def edges(self) -> list[GraphEdge]:
         """All edges of the space-time decoding graph."""
         space_error = max(self.noise.p, 1e-12)
@@ -128,6 +195,16 @@ class DetectorGraph:
                             kind="boundary",
                         )
                     )
+            for (first, second), flips in self._chain_pairs.items():
+                edges.append(
+                    GraphEdge(
+                        node_a=self.node_index(first, layer),
+                        node_b=self.node_index(second, layer),
+                        weight=space_weight,
+                        flips_logical=flips,
+                        kind="space",
+                    )
+                )
         for layer in range(self.num_layers - 1):
             for z_local in range(self.num_z_stabs):
                 edges.append(

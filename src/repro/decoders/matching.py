@@ -22,15 +22,34 @@ import numpy as np
 
 from .detector_graph import DetectorGraph
 
-__all__ = ["MatchingDecoder"]
+__all__ = ["MatchingDecoder", "STRATEGIES"]
+
+
+#: Valid values of :attr:`MatchingDecoder.strategy`.
+STRATEGIES = ("auto", "exact", "greedy")
 
 
 @dataclass
 class MatchingDecoder:
-    """MWPM decoder over a :class:`DetectorGraph`."""
+    """MWPM decoder over a :class:`DetectorGraph`.
+
+    ``strategy`` pins the matching backend: ``"auto"`` (default) uses exact
+    blossom matching up to ``max_exact_nodes`` fired detectors and greedy
+    pairing beyond, ``"exact"`` always matches exactly and ``"greedy"``
+    always uses the nearest-neighbour fallback.
+    """
 
     graph: DetectorGraph
     max_exact_nodes: int = 60
+    strategy: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}, got {self.strategy!r}"
+            )
+        if self.max_exact_nodes < 0:
+            raise ValueError("max_exact_nodes must be non-negative")
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -39,21 +58,51 @@ class MatchingDecoder:
         self, detector_history: np.ndarray, final_detectors: np.ndarray
     ) -> int:
         """Predict the logical flip (0/1) for one shot."""
+        parity = 0
+        for node_a, node_b in self.decode_shot_edges(detector_history, final_detectors):
+            edge = self.graph.edge_between(node_a, node_b)
+            if edge is not None and edge.flips_logical:
+                parity ^= 1
+        return parity
+
+    def decode_shot_edges(
+        self, detector_history: np.ndarray, final_detectors: np.ndarray
+    ) -> list[tuple[int, int]]:
+        """The correction as explicit graph edges (used by windowed decoding).
+
+        Returns the list of ``(node_a, node_b)`` detector-graph edges along
+        the matched error chains; :meth:`decode_shot` is the parity of the
+        logical-crossing edges in this list.
+        """
         flagged = self.graph.flagged_nodes(detector_history, final_detectors)
         if flagged.size == 0:
-            return 0
+            return []
         distances, predecessors = self.graph.shortest_paths_from(flagged)
         boundary = self.graph.boundary_node
-        if flagged.size <= self.max_exact_nodes:
+        if self._use_exact(flagged.size):
             pairs = self._exact_matching(flagged, distances, boundary)
         else:
             pairs = self._greedy_matching(flagged, distances, boundary)
-        parity = 0
         index_of = {int(node): i for i, node in enumerate(flagged)}
+        edges: list[tuple[int, int]] = []
         for node_a, node_b in pairs:
             source_row = predecessors[index_of[node_a]]
-            parity ^= self.graph.path_logical_parity(source_row, node_b)
-        return parity
+            node = int(node_b)
+            while True:
+                previous = source_row[node]
+                if previous < 0:
+                    break
+                edges.append((int(previous), node))
+                node = int(previous)
+        return edges
+
+    def _use_exact(self, flagged_count: int) -> bool:
+        """Whether this syndrome size is matched exactly or greedily."""
+        if self.strategy == "exact":
+            return True
+        if self.strategy == "greedy":
+            return False
+        return flagged_count <= self.max_exact_nodes
 
     def decode_batch(
         self, detector_history: np.ndarray, final_detectors: np.ndarray

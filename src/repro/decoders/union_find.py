@@ -69,17 +69,22 @@ class UnionFindDecoder:
         self, detector_history: np.ndarray, final_detectors: np.ndarray
     ) -> int:
         """Predict the logical flip (0/1) for one shot."""
-        flagged = set(int(n) for n in self.graph.flagged_nodes(detector_history, final_detectors))
-        if not flagged:
-            return 0
-        cluster_nodes, fired = self._grow_clusters(flagged)
-        correction_edges = self._peel(cluster_nodes, fired)
         parity = 0
-        for node_a, node_b in correction_edges:
+        for node_a, node_b in self.decode_shot_edges(detector_history, final_detectors):
             edge = self.graph.edge_between(node_a, node_b)
             if edge is not None and edge.flips_logical:
                 parity ^= 1
         return parity
+
+    def decode_shot_edges(
+        self, detector_history: np.ndarray, final_detectors: np.ndarray
+    ) -> list[tuple[int, int]]:
+        """The correction as explicit graph edges (used by windowed decoding)."""
+        flagged = set(int(n) for n in self.graph.flagged_nodes(detector_history, final_detectors))
+        if not flagged:
+            return []
+        cluster_nodes, fired = self._grow_clusters(flagged)
+        return self._peel(cluster_nodes, fired)
 
     def decode_batch(
         self, detector_history: np.ndarray, final_detectors: np.ndarray

@@ -100,7 +100,17 @@ class MemoryResult:
 
 @dataclass
 class MemoryExperiment:
-    """Run a decoded memory experiment for one (code, noise, policy) triple."""
+    """Run a decoded memory experiment for one (code, noise, policy) triple.
+
+    Decoding is offline by default (whole record at once).  Setting
+    ``window_rounds`` routes it through the sliding-window path of
+    :mod:`repro.realtime` instead: corrections are committed
+    ``commit_rounds`` rounds at a time as the record is replayed, and
+    ``window_rounds >= rounds`` is bit-identical to the offline decode.
+    ``decoder_max_exact_nodes`` and ``decoder_strategy`` tune the matching
+    decoder's exact-vs-greedy trade-off (see
+    :class:`repro.decoders.MatchingDecoder`).
+    """
 
     code: StabilizerCode
     noise: NoiseParams
@@ -109,13 +119,16 @@ class MemoryExperiment:
     gadget: LrcGadget = field(default_factory=default_lrc)
     leakage_sampling: bool = False
     seed: int = 0
+    window_rounds: int | None = None
+    commit_rounds: int | None = None
+    decoder_max_exact_nodes: int | None = None
+    decoder_strategy: str | None = None
 
     def run(self, shots: int, rounds: int, batch_size: int = 250) -> MemoryResult:
         """Simulate ``shots`` shots (in batches) and decode every one of them."""
         if shots <= 0 or rounds <= 0:
             raise ValueError("shots and rounds must be positive")
-        graph = DetectorGraph(code=self.code, rounds=rounds, noise=self.noise)
-        decoder = make_decoder(graph, self.decoder_method)
+        decode_batch = self._make_decode(rounds)
 
         failures = 0
         dlp_accumulator = np.zeros(rounds)
@@ -131,7 +144,7 @@ class MemoryExperiment:
         while remaining > 0:
             batch = min(batch_size, remaining)
             result = self._run_batch(batch, rounds, seed_offset=batch_index)
-            predictions = decoder.decode_batch(
+            predictions = decode_batch(
                 result.detector_history, result.final_detectors
             )
             failures += int((predictions ^ result.observable_flips).sum())
@@ -157,6 +170,32 @@ class MemoryExperiment:
             total_leakage_events=totals["leak_events"],
             final_dlp=totals["final_leaked"] / shots,
         )
+
+    def _make_decode(self, rounds: int):
+        """The batch-decode callable: offline by default, windowed when asked."""
+        if self.window_rounds is not None:
+            from ..realtime.window import WindowedDecoder
+
+            return WindowedDecoder(
+                code=self.code,
+                noise=self.noise,
+                rounds=rounds,
+                window_rounds=self.window_rounds,
+                commit_rounds=self.commit_rounds,
+                method=self.decoder_method,
+                max_exact_nodes=self.decoder_max_exact_nodes,
+                strategy=self.decoder_strategy,
+            ).decode_batch
+        graph = DetectorGraph(
+            code=self.code, rounds=rounds, noise=self.noise, hyperedges="decompose"
+        )
+        decoder = make_decoder(
+            graph,
+            self.decoder_method,
+            max_exact_nodes=self.decoder_max_exact_nodes,
+            strategy=self.decoder_strategy,
+        )
+        return decoder.decode_batch
 
     def run_undecoded(self, shots: int, rounds: int) -> RunResult:
         """Run the simulator without decoding (leakage-population studies)."""

@@ -10,10 +10,13 @@ from .fpga import (
     resource_report,
 )
 from .microarchitecture import (
+    ROUND_LATENCY_NS,
+    SPECULATION_LATENCY_NS,
     DataParityAdjacencyGenerator,
     GladiatorMicroarchitecture,
     LrcScheduler,
     SequenceChecker,
+    realtime_deadline_ns,
 )
 
 __all__ = [
@@ -28,4 +31,7 @@ __all__ = [
     "SequenceChecker",
     "LrcScheduler",
     "GladiatorMicroarchitecture",
+    "ROUND_LATENCY_NS",
+    "SPECULATION_LATENCY_NS",
+    "realtime_deadline_ns",
 ]

@@ -33,7 +33,31 @@ __all__ = [
     "SequenceChecker",
     "LrcScheduler",
     "GladiatorMicroarchitecture",
+    "ROUND_LATENCY_NS",
+    "SPECULATION_LATENCY_NS",
+    "realtime_deadline_ns",
 ]
+
+#: Cadence of one full syndrome-extraction round on the superconducting
+#: platform the paper targets (four ~25 ns CNOT layers plus readout/reset):
+#: the deadline by which the online datapath must have reacted.
+ROUND_LATENCY_NS = 1000.0
+
+#: Settle time of the combinational sequence checker (Section 4.4): the
+#: speculation decision itself costs about one nanosecond of logic depth.
+SPECULATION_LATENCY_NS = 1.0
+
+def realtime_deadline_ns(rounds: int) -> float:
+    """Wall-clock budget for keeping up with ``rounds`` QEC rounds.
+
+    A decoder (or decode service) that processes a stream's rounds in less
+    than this is running faster than the hardware produces syndrome data —
+    the :mod:`repro.realtime` accounting reports measured latency as a
+    fraction of this budget.
+    """
+    if rounds <= 0:
+        raise ValueError("rounds must be positive")
+    return rounds * ROUND_LATENCY_NS
 
 
 @dataclass

@@ -1,0 +1,156 @@
+"""Command-line entry point: decode concurrent syndrome streams online.
+
+Examples
+--------
+Four d=3 GLADIATOR+M streams through 8-round windows on 4 workers::
+
+    PYTHONPATH=src python -m repro.realtime --streams 4 --distance 3 \
+        --rounds 24 --window 8 --workers 4
+
+Prints one row per stream (throughput, p50/p99 per-round decode latency,
+realtime factor vs. the hardware round cadence) and writes the rows as JSON
+records under ``results/realtime_service.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from ..core import POLICY_NAMES, make_policy
+from ..experiments.runner import make_code
+from ..noise import paper_noise
+from .service import DecodeService
+from .stream import SimulatorStream
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.realtime",
+        description="Decode concurrent syndrome streams with sliding windows.",
+    )
+    parser.add_argument("--family", default="surface", help="code family (default: surface)")
+    parser.add_argument("--distance", type=int, default=3, help="code distance (default: 3)")
+    parser.add_argument(
+        "--policy", default="gladiator+m", help=f"one of: {', '.join(sorted(POLICY_NAMES))}"
+    )
+    parser.add_argument("--streams", type=int, default=4, help="concurrent streams (default: 4)")
+    parser.add_argument("--shots", type=int, default=50, help="shots per stream (default: 50)")
+    parser.add_argument("--rounds", type=int, default=24, help="QEC rounds per shot (default: 24)")
+    parser.add_argument("--window", type=int, default=8, help="window size in rounds (default: 8)")
+    parser.add_argument(
+        "--commit", type=int, default=None, help="rounds committed per window (default: window/2)"
+    )
+    parser.add_argument(
+        "--decoder", default="matching", help="decoder method (matching or union_find)"
+    )
+    parser.add_argument(
+        "--max-exact-nodes", type=int, default=None, help="matching exact->greedy threshold"
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=("auto", "exact", "greedy"),
+        default=None,
+        help="pin the matching backend (default: auto threshold)",
+    )
+    parser.add_argument("--p", type=float, default=1e-3, help="physical error rate (default: 1e-3)")
+    parser.add_argument(
+        "--leakage-ratio", type=float, default=0.1, help="p_leak / p (default: 0.1)"
+    )
+    parser.add_argument("--workers", type=int, default=4, help="decode worker threads (default: 4)")
+    parser.add_argument(
+        "--queue-depth", type=int, default=None, help="pending-window queue bound"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed (default: 0)")
+    parser.add_argument(
+        "--out", default=None, help="output JSON path (default: results/realtime_service.json)"
+    )
+    parser.add_argument(
+        "--results-dir", default=None, help="directory for the default output path"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.streams <= 0 or args.shots <= 0 or args.rounds <= 0:
+        print("error: streams, shots and rounds must be positive", file=sys.stderr)
+        return 2
+
+    from ..io import ResultRecord, format_table, results_dir, save_records
+
+    try:
+        code = make_code(args.family, args.distance)
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    noise = paper_noise(p=args.p, leakage_ratio=args.leakage_ratio)
+    streams = [
+        SimulatorStream(
+            code=code,
+            noise=noise,
+            policy=make_policy(args.policy),
+            shots=args.shots,
+            rounds=args.rounds,
+            seed=args.seed + 101 * index,
+        )
+        for index in range(args.streams)
+    ]
+    try:
+        service = DecodeService(
+            window_rounds=args.window,
+            commit_rounds=args.commit,
+            method=args.decoder,
+            max_exact_nodes=args.max_exact_nodes,
+            strategy=args.strategy,
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+        )
+        started = time.perf_counter()
+        reports = service.run(streams)
+    except ValueError as exc:  # bad decoder/window/queue configuration
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+
+    rows = [report.summary() for report in reports]
+    print(format_table(rows))
+    total_rounds = sum(report.rounds for report in reports)
+    print(
+        f"{len(reports)} streams ({service.windows_decoded} windows, "
+        f"{total_rounds} stream-rounds) in {elapsed:.2f}s "
+        f"({len(reports) / elapsed:.2f} streams/s, {service.workers} workers, "
+        f"queue depth {service.queue_depth})"
+    )
+
+    out = args.out
+    if out is None:
+        out = results_dir(args.results_dir) / "realtime_service.json"
+    records = [
+        ResultRecord(
+            experiment="realtime_service",
+            parameters={
+                "family": args.family,
+                "distance": args.distance,
+                "policy": args.policy,
+                "window": args.window,
+                "commit": args.commit,
+                "decoder": args.decoder,
+                "strategy": args.strategy,
+                "workers": args.workers,
+                "seed": args.seed,
+            },
+            metrics=row,
+        )
+        for row in rows
+    ]
+    path = save_records(records, out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

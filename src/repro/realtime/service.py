@@ -1,0 +1,234 @@
+"""A batched decode service multiplexing many syndrome streams.
+
+One logical qubit produces one syndrome stream; a control system serves
+many.  :class:`DecodeService` models that shape in software: a producer
+loop round-robins over the attached streams pulling one round chunk at a
+time (the multiplexer), window-decode jobs are pushed onto a *bounded*
+queue, and a pool of worker threads drains it.  When the queue is full the
+producer blocks — backpressure — so buffered-but-undecoded syndrome data
+stays bounded no matter how many streams are attached, exactly the
+guarantee a real-time decoder has to make.
+
+Per-stream ordering is preserved by keeping at most one job per stream in
+flight (window ``k+1`` depends on the artifacts window ``k`` committed);
+throughput comes from decoding *different* streams concurrently.  Every
+stream gets a :class:`~repro.realtime.accounting.LatencyRecorder`, and the
+final :class:`StreamReport` prices the measured latencies against the
+microarchitecture cost model's round cadence.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Sequence
+
+import numpy as np
+
+from .accounting import LatencyRecorder, StreamReport
+from .stream import SyndromeStream
+from .window import WindowedDecoder, WindowSession
+
+__all__ = ["DecodeService"]
+
+_POLL_SECONDS = 0.05
+
+
+class _StreamTask:
+    """Mutable per-stream state shared between the producer and the workers."""
+
+    def __init__(self, stream_id: int, stream: SyndromeStream, windowed: WindowedDecoder):
+        self.stream_id = stream_id
+        self.stream = stream
+        self.recorder = LatencyRecorder()
+        self.session: WindowSession = windowed.session(stream.shots, self.recorder)
+        self.chunk_iter = stream.chunks()
+        self.exhausted = False
+        self.finished = False
+        self.in_flight = False
+        self.error: BaseException | None = None
+        self.predictions: np.ndarray | None = None
+        self.failures: int | None = None
+        self.wall_seconds = 0.0
+        self._started = time.perf_counter()
+
+    def pull_chunk(self) -> None:
+        """Feed the session one more round chunk (producer thread only)."""
+        try:
+            self.session.feed(next(self.chunk_iter))
+        except StopIteration:
+            self.exhausted = True
+
+    def complete(self) -> None:
+        """Decode the tail window and close out the stream (worker thread)."""
+        final = self.stream.final()
+        self.predictions = self.session.finish(final)
+        if final.observable_flips is not None:
+            self.failures = int((self.predictions ^ final.observable_flips).sum())
+        self.wall_seconds = time.perf_counter() - self._started
+        self.finished = True
+
+
+class DecodeService:
+    """Decode N syndrome streams concurrently through sliding windows.
+
+    Parameters
+    ----------
+    window_rounds / commit_rounds / method / max_exact_nodes / strategy:
+        Windowed-decoder configuration, applied per stream (see
+        :class:`~repro.realtime.window.WindowedDecoder`).
+    workers:
+        Worker threads decoding windows.  Streams are independent, so
+        effective concurrency is ``min(workers, streams)``.
+    queue_depth:
+        Bound of the pending-window queue; the producer blocks when it is
+        full (backpressure).  Defaults to ``max(2, workers)``.
+    """
+
+    def __init__(
+        self,
+        window_rounds: int,
+        commit_rounds: int | None = None,
+        method: str = "matching",
+        max_exact_nodes: int | None = None,
+        strategy: str | None = None,
+        workers: int = 4,
+        queue_depth: int | None = None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.window_rounds = int(window_rounds)
+        self.commit_rounds = commit_rounds
+        self.method = method
+        self.max_exact_nodes = max_exact_nodes
+        self.strategy = strategy
+        self.workers = int(workers)
+        self.queue_depth = int(queue_depth) if queue_depth is not None else max(2, workers)
+        if self.queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        self.windows_decoded = 0
+        self.streams_served = 0
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(self, streams: Sequence[SyndromeStream]) -> list[StreamReport]:
+        """Decode every stream to completion; returns one report per stream."""
+        if not streams:
+            return []
+        tasks = []
+        for index, stream in enumerate(streams):
+            code = getattr(stream, "code", None)
+            noise = getattr(stream, "noise", None)
+            if code is None or noise is None:
+                raise ValueError(
+                    "DecodeService needs streams that carry their code and "
+                    "noise (e.g. SimulatorStream, or ReplayStream with code= "
+                    "and noise= set)"
+                )
+            tasks.append(
+                _StreamTask(
+                    index,
+                    stream,
+                    WindowedDecoder(
+                        code=code,
+                        noise=noise,
+                        rounds=stream.rounds,
+                        window_rounds=self.window_rounds,
+                        commit_rounds=self.commit_rounds,
+                        method=self.method,
+                        max_exact_nodes=self.max_exact_nodes,
+                        strategy=self.strategy,
+                    ),
+                )
+            )
+        work: queue.Queue = queue.Queue(maxsize=self.queue_depth)
+        done = threading.Condition()
+        threads = [
+            threading.Thread(
+                target=self._worker, args=(work, done), daemon=True, name=f"decode-{i}"
+            )
+            for i in range(min(self.workers, len(tasks)))
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            self._produce(tasks, work, done)
+        finally:
+            for _ in threads:
+                work.put(None)
+            for thread in threads:
+                thread.join()
+        for task in tasks:
+            if task.error is not None:
+                raise task.error
+        self.streams_served += len(tasks)
+        self.windows_decoded += sum(task.session.windows_decoded for task in tasks)
+        return [
+            StreamReport(
+                stream_id=task.stream_id,
+                shots=task.stream.shots,
+                rounds=task.stream.rounds,
+                recorder=task.recorder,
+                failures=task.failures,
+                wall_seconds=task.wall_seconds,
+            )
+            for task in tasks
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Producer / worker internals
+    # ------------------------------------------------------------------ #
+    def _produce(self, tasks: list[_StreamTask], work: queue.Queue, done: threading.Condition) -> None:
+        """Round-robin multiplexer: pull chunks, schedule ready windows."""
+        while not all(task.finished for task in tasks):
+            progressed = False
+            for task in tasks:
+                if task.finished or task.in_flight:
+                    continue
+                if task.session.ready():
+                    self._enqueue(work, "window", task)
+                    progressed = True
+                elif not task.exhausted:
+                    task.pull_chunk()
+                    progressed = True
+                    if task.session.ready():
+                        self._enqueue(work, "window", task)
+                else:
+                    self._enqueue(work, "final", task)
+                    progressed = True
+            if not progressed:
+                with done:
+                    done.wait(timeout=_POLL_SECONDS)
+
+    @staticmethod
+    def _enqueue(work: queue.Queue, kind: str, task: _StreamTask) -> None:
+        # in_flight must flip before the (possibly blocking) put so the
+        # producer never double-schedules a stream.
+        task.in_flight = True
+        work.put((kind, task, time.perf_counter()))
+
+    @staticmethod
+    def _worker(work: queue.Queue, done: threading.Condition) -> None:
+        while True:
+            item = work.get()
+            if item is None:
+                work.task_done()
+                return
+            kind, task, enqueued_at = item
+            wait = time.perf_counter() - enqueued_at
+            try:
+                if kind == "window":
+                    task.session.step()
+                else:
+                    task.complete()
+                task.recorder.add_wait(wait)
+            except BaseException as exc:  # surface in run(), don't kill the pool
+                task.error = exc
+                task.finished = True
+            finally:
+                task.in_flight = False
+                with done:
+                    done.notify_all()
+                work.task_done()

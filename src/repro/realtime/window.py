@@ -1,0 +1,280 @@
+"""Sliding-window decoding over syndrome streams.
+
+Offline decoding needs the whole detector record; a real-time decoder cannot
+wait for it.  The standard compromise from the streaming-decoder literature
+is the overlapping sliding window: decode the most recent ``window_rounds``
+rounds, *commit* only the corrections that fall in the oldest
+``commit_rounds`` of the window, and defer everything younger — the
+committed chain's loose ends are carried into the next window as *artifact*
+defects XOR-ed onto the boundary round, so chains that straddle windows stay
+consistent.
+
+Concretely, a window over rounds ``[s, s+W)`` decodes ``W`` detector layers
+plus one context layer (round ``s+W``'s detectors, or the transversal
+readout for the last window) on a ``W``-round :class:`DetectorGraph`.  The
+underlying decoder returns its correction as explicit graph edges
+(:meth:`decode_shot_edges`), which the window classifies per layer:
+
+* edges entirely below the commit boundary are finalised — their
+  logical-flip parity is accumulated into the shot's running prediction,
+* the time-like edge crossing the boundary is committed too (time edges
+  never flip the logical) and leaves an artifact defect on the boundary
+  round,
+* everything above the boundary is discarded and re-decoded next window.
+
+When ``window_rounds >= rounds`` the first window is also the last: every
+edge commits and the result is bit-for-bit identical to offline decoding —
+the proof-of-equivalence path the tests pin down.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..codes.base import StabilizerCode
+from ..decoders import DetectorGraph, make_decoder
+from ..noise import NoiseParams
+from .accounting import LatencyRecorder
+from .stream import FinalChunk, ReplayStream, RoundChunk, SyndromeStream
+
+__all__ = ["WindowedDecoder", "WindowSession"]
+
+
+@dataclass
+class WindowedDecoder:
+    """Wrap any ``repro.decoders`` decoder with overlapping sliding windows.
+
+    Parameters
+    ----------
+    code / noise / rounds:
+        The experiment geometry; ``rounds`` is the stream length the decoder
+        will be fed (windows shorter than the stream slide across it).
+    window_rounds:
+        Rounds per window (``W``).  ``W >= rounds`` degenerates into one
+        window and reproduces offline decoding bit-for-bit.
+    commit_rounds:
+        Rounds finalised per window step (``C``, the window advance).
+        Defaults to ``max(1, W // 2)`` — 50% overlap, the usual
+        latency/accuracy compromise.  ``C == W`` gives non-overlapping
+        forward windows that communicate only through artifacts.
+    method / max_exact_nodes / strategy:
+        Passed through to :func:`repro.decoders.make_decoder`.
+    """
+
+    code: StabilizerCode
+    noise: NoiseParams
+    rounds: int
+    window_rounds: int
+    commit_rounds: int | None = None
+    method: str = "matching"
+    max_exact_nodes: int | None = None
+    strategy: str | None = None
+    _decoders: dict = field(init=False, default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if self.window_rounds <= 0:
+            raise ValueError("window_rounds must be positive")
+        if self.commit_rounds is None:
+            self.commit_rounds = max(1, min(self.window_rounds, self.rounds) // 2)
+        if not 1 <= self.commit_rounds <= self.window_rounds:
+            raise ValueError(
+                f"commit_rounds must be in [1, window_rounds]; got "
+                f"{self.commit_rounds} for window {self.window_rounds}"
+            )
+
+    @property
+    def effective_window(self) -> int:
+        """The window actually used: never longer than the stream itself."""
+        return min(self.window_rounds, self.rounds)
+
+    @property
+    def covers_stream(self) -> bool:
+        """True when one window spans the whole stream (offline-equivalent)."""
+        return self.window_rounds >= self.rounds
+
+    def decoder_for(self, window: int):
+        """The (graph, decoder) pair for a ``window``-round sub-problem, cached."""
+        if window not in self._decoders:
+            graph = DetectorGraph(
+                code=self.code, rounds=window, noise=self.noise, hyperedges="decompose"
+            )
+            self._decoders[window] = (
+                graph,
+                make_decoder(
+                    graph,
+                    self.method,
+                    max_exact_nodes=self.max_exact_nodes,
+                    strategy=self.strategy,
+                ),
+            )
+        return self._decoders[window]
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+    def session(self, shots: int, recorder: LatencyRecorder | None = None) -> "WindowSession":
+        """Start an incremental decode session for a batch of ``shots`` shots."""
+        return WindowSession(windowed=self, shots=shots, recorder=recorder)
+
+    def decode_stream(
+        self, stream: SyndromeStream, recorder: LatencyRecorder | None = None
+    ) -> np.ndarray:
+        """Consume a whole stream; returns the (shots,) logical-flip predictions."""
+        session = self.session(stream.shots, recorder)
+        for chunk in stream.chunks():
+            session.feed(chunk)
+            while session.ready():
+                session.step()
+        return session.finish(stream.final())
+
+    def decode_batch(
+        self, detector_history: np.ndarray, final_detectors: np.ndarray
+    ) -> np.ndarray:
+        """Offline-shaped entry point: replay recorded arrays through windows."""
+        return self.decode_stream(ReplayStream(detector_history, final_detectors))
+
+
+@dataclass
+class WindowSession:
+    """Incremental decoding state of one stream (one batch of shots).
+
+    ``feed`` buffers round chunks, ``step`` decodes the next ready window and
+    commits its oldest ``commit_rounds`` rounds, ``finish`` decodes the tail
+    window against the final readout and returns the per-shot predictions.
+    The buffer only ever holds ``window_rounds + 1`` rounds, which is the
+    memory bound that makes streaming worthwhile.
+    """
+
+    windowed: WindowedDecoder
+    shots: int
+    recorder: LatencyRecorder | None = None
+    start: int = field(init=False, default=0)
+    windows_decoded: int = field(init=False, default=0)
+    _buffer: dict = field(init=False, default_factory=dict, repr=False)
+    _parity: np.ndarray = field(init=False, repr=False)
+    _next_round: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self._parity = np.zeros(self.shots, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # Streaming interface
+    # ------------------------------------------------------------------ #
+    def feed(self, chunk: RoundChunk) -> None:
+        """Buffer one round chunk (must arrive in round order)."""
+        if chunk.round_index != self._next_round:
+            raise ValueError(
+                f"chunks must arrive in order; expected round {self._next_round}, "
+                f"got {chunk.round_index}"
+            )
+        detectors = np.array(chunk.detectors, dtype=bool)
+        if detectors.shape[0] != self.shots:
+            raise ValueError("chunk shot dimension does not match the session")
+        # A mutable copy: later windows XOR boundary artifacts into it.
+        self._buffer[chunk.round_index] = detectors
+        self._next_round += 1
+
+    def ready(self) -> bool:
+        """Whether an intermediate window can be decoded now."""
+        window = self.windowed.effective_window
+        end = self.start + window
+        return end < self.windowed.rounds and end in self._buffer
+
+    def step(self) -> None:
+        """Decode the next intermediate window and commit its oldest rounds."""
+        if not self.ready():
+            raise RuntimeError("no window is ready; feed more chunks first")
+        window = self.windowed.effective_window
+        commit = self.windowed.commit_rounds
+        start = self.start
+        started = time.perf_counter()
+
+        history = np.stack(
+            [self._buffer[r] for r in range(start, start + window)], axis=1
+        )
+        context = self._buffer[start + window]
+        graph, decoder = self.windowed.decoder_for(window)
+        artifacts = np.zeros((self.shots, graph.num_z_stabs), dtype=bool)
+        for shot in range(self.shots):
+            edges = decoder.decode_shot_edges(history[shot], context[shot])
+            flip, artifact_stabs = _commit_edges(edges, graph, commit)
+            self._parity[shot] ^= flip
+            for z_local in artifact_stabs:
+                artifacts[shot, z_local] ^= True
+
+        # Boundary artifacts become extra defects on the first uncommitted
+        # round, so cross-window chains re-terminate correctly next window.
+        self._buffer[start + commit] ^= artifacts
+        for done in range(start, start + commit):
+            del self._buffer[done]
+        self.start += commit
+        self.windows_decoded += 1
+        if self.recorder is not None:
+            self.recorder.record(commit, time.perf_counter() - started)
+
+    def finish(self, final: FinalChunk) -> np.ndarray:
+        """Decode the tail window against the final readout; return predictions."""
+        if self._next_round != self.windowed.rounds:
+            raise RuntimeError(
+                f"stream incomplete: fed {self._next_round} of "
+                f"{self.windowed.rounds} rounds"
+            )
+        while self.ready():  # flush any windows the caller did not step
+            self.step()
+        tail = self.windowed.rounds - self.start
+        started = time.perf_counter()
+        history = np.stack(
+            [self._buffer[r] for r in range(self.start, self.start + tail)], axis=1
+        )
+        final_detectors = np.asarray(final.final_detectors, dtype=bool)
+        graph, decoder = self.windowed.decoder_for(tail)
+        # Commit boundary beyond the last layer: every edge is finalised.
+        commit_all = graph.num_layers
+        for shot in range(self.shots):
+            edges = decoder.decode_shot_edges(history[shot], final_detectors[shot])
+            flip, artifact_stabs = _commit_edges(edges, graph, commit_all)
+            assert not artifact_stabs
+            self._parity[shot] ^= flip
+        self._buffer.clear()
+        self.windows_decoded += 1
+        if self.recorder is not None:
+            self.recorder.record(tail, time.perf_counter() - started)
+        return self._parity.copy()
+
+
+def _commit_edges(
+    edges: list[tuple[int, int]], graph: DetectorGraph, commit_layer: int
+) -> tuple[bool, list[int]]:
+    """Split a correction into (committed logical parity, boundary artifacts).
+
+    Edges wholly below ``commit_layer`` commit; the time-like edge from layer
+    ``commit_layer - 1`` to ``commit_layer`` commits and deposits an artifact
+    defect at its upper endpoint; everything else is deferred.  Space and
+    boundary edges live inside a single layer, so only time edges can cross.
+    """
+    num_z = graph.num_z_stabs
+    boundary_node = graph.boundary_node
+    parity = False
+    artifacts: list[int] = []
+    for node_a, node_b in edges:
+        layer_a = node_a // num_z if node_a != boundary_node else None
+        layer_b = node_b // num_z if node_b != boundary_node else None
+        if layer_a is None:
+            layer_a = layer_b
+        if layer_b is None:
+            layer_b = layer_a
+        low, high = min(layer_a, layer_b), max(layer_a, layer_b)
+        if high < commit_layer:
+            edge = graph.edge_between(node_a, node_b)
+            if edge is not None and edge.flips_logical:
+                parity = not parity
+        elif low == commit_layer - 1 and high == commit_layer:
+            upper = node_a if node_a // num_z == commit_layer else node_b
+            artifacts.append(upper % num_z)
+        # low >= commit_layer: deferred, the next window re-decodes it.
+    return parity, artifacts

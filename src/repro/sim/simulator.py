@@ -222,10 +222,30 @@ class LeakageSimulator:
         self._logical_z_support = code.logical_z.astype(bool)
 
     # ------------------------------------------------------------------ #
-    # Main entry point
+    # Main entry points
     # ------------------------------------------------------------------ #
     def run(self, shots: int, rounds: int) -> RunResult:
         """Simulate ``rounds`` QEC rounds for a batch of ``shots`` shots."""
+        stream = self.run_incremental(shots, rounds)
+        while True:
+            try:
+                next(stream)
+            except StopIteration as stop:
+                return stop.value
+
+    def run_incremental(self, shots: int, rounds: int):
+        """Generator variant of :meth:`run` for online (streaming) consumers.
+
+        Yields one ``(round_index, z_detectors)`` pair after every QEC round,
+        where ``z_detectors`` is the ``(shots, num_z_stabs)`` boolean array of
+        this round's Z-detector flips — the exact per-round chunk the
+        :mod:`repro.realtime` streaming pipeline consumes.  The generator's
+        ``StopIteration`` value is the full :class:`RunResult` (drive it with
+        ``next`` inside ``try``/``except`` or through
+        :class:`repro.realtime.SimulatorStream`).  :meth:`run` is implemented
+        on top of this generator, so both paths execute the identical
+        sequence of RNG draws and are bit-for-bit interchangeable.
+        """
         if shots <= 0 or rounds <= 0:
             raise ValueError("shots and rounds must be positive")
         noise, rng, code = self.noise, self.rng, self.code
@@ -248,7 +268,13 @@ class LeakageSimulator:
         totals = {"lrc": 0, "anc_lrc": 0, "fp": 0, "fn": 0, "tp": 0, "leak_events": 0}
 
         for round_index in range(rounds):
-            record, pending_lrc, pending_anc_lrc, prev_pattern_ints = self._run_round(
+            (
+                record,
+                pending_lrc,
+                pending_anc_lrc,
+                prev_pattern_ints,
+                z_detectors,
+            ) = self._run_round(
                 state,
                 round_index,
                 pending_lrc,
@@ -259,6 +285,7 @@ class LeakageSimulator:
                 pattern_histogram,
             )
             round_records.append(record)
+            yield round_index, z_detectors
 
         final_detectors, observable_flips = self._final_readout(state)
 
@@ -277,7 +304,7 @@ class LeakageSimulator:
             total_leakage_events=totals["leak_events"],
             final_data_leaked=state.data_leaked.copy(),
             detector_history=detector_history,
-            final_detectors=final_detectors if self.options.record_detectors else None,
+            final_detectors=final_detectors,
             observable_flips=observable_flips,
             pattern_histogram=pattern_histogram,
         )
@@ -295,7 +322,7 @@ class LeakageSimulator:
         totals: dict[str, int],
         detector_history: np.ndarray | None,
         pattern_histogram: dict,
-    ) -> tuple[RoundRecord, np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[RoundRecord, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         noise, rng = self.noise, self.rng
         shots = state.shots
 
@@ -331,8 +358,9 @@ class LeakageSimulator:
             # only from round 1 onwards.
             detectors[:, ~self._anc_is_z] = False
         state.prev_measurement = measurement
+        z_detectors = detectors[:, self._z_stab_indices]
         if detector_history is not None:
-            detector_history[:, round_index, :] = detectors[:, self._z_stab_indices]
+            detector_history[:, round_index, :] = z_detectors
 
         # 6. Speculation.
         pattern_ints = self._extract_patterns(detectors)
@@ -374,7 +402,7 @@ class LeakageSimulator:
             false_negatives=float(false_negative.sum()) / shots,
             true_positives=float(true_positive.sum()) / shots,
         )
-        return record, next_lrc, next_anc_lrc, pattern_ints
+        return record, next_lrc, next_anc_lrc, pattern_ints, z_detectors
 
     # ------------------------------------------------------------------ #
     # Physical processes

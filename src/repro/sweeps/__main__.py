@@ -24,7 +24,7 @@ import time
 
 from .cache import SweepCache, default_cache_dir
 from .executor import SweepExecutor, default_workers
-from .registry import build_sweep, sweep_names
+from .registry import SWEEP_GROUPS, build_sweep, sweep_names
 
 __all__ = ["main"]
 
@@ -62,11 +62,25 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_sweep_list() -> None:
+    """List the presets grouped by subsystem (offline vs realtime)."""
+    grouped = set()
+    for group in sorted(SWEEP_GROUPS):
+        print(f"{group}:")
+        for name in sorted(SWEEP_GROUPS[group]):
+            print(f"  {name}")
+            grouped.add(name)
+    ungrouped = [name for name in sweep_names() if name not in grouped]
+    if ungrouped:  # a preset missing from SWEEP_GROUPS still shows up
+        print("other:")
+        for name in ungrouped:
+            print(f"  {name}")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list or not args.sweep:
-        for name in sweep_names():
-            print(name)
+        _print_sweep_list()
         return 0 if args.list else 2
 
     from ..io import ResultRecord, format_table, results_dir, save_records

@@ -13,7 +13,13 @@ from typing import Callable
 
 from .spec import SweepSpec
 
-__all__ = ["NAMED_SWEEPS", "build_sweep", "sweep_names"]
+__all__ = [
+    "NAMED_SWEEPS",
+    "SWEEP_GROUPS",
+    "build_sweep",
+    "sweep_names",
+    "sweep_subsystem",
+]
 
 #: Policies compared in most closed-loop studies, in the paper's order.
 CLOSED_LOOP_POLICIES = (
@@ -100,6 +106,40 @@ def _distance_sensitivity(scale) -> SweepSpec:
     )
 
 
+def _realtime_ler(scale) -> SweepSpec:
+    # Online-decoding accuracy: the same decoded workload routed through the
+    # sliding-window path at several window sizes, against the offline
+    # baseline (window=None).  window >= rounds reproduces offline exactly.
+    return SweepSpec(
+        name="realtime-ler",
+        distances=(3, 5),
+        leakage_ratios=(1.0,),
+        policies=("eraser+m", "gladiator+m"),
+        shots=scale.decoded_shots(200),
+        rounds=lambda distance: 4 * distance,
+        decoded=True,
+        windows=(None, 8),
+        seed=21,
+    )
+
+
+def _realtime_throughput(scale) -> SweepSpec:
+    # Window-size sensitivity of the streaming decoder: smaller windows
+    # commit sooner (lower latency) but decode more often; the realtime
+    # benchmark prices the same axis in wall-clock terms.
+    return SweepSpec(
+        name="realtime-throughput",
+        distances=(3,),
+        leakage_ratios=(1.0,),
+        policies=("gladiator+m",),
+        shots=scale.decoded_shots(150),
+        rounds=scale.rounds(24),
+        decoded=True,
+        windows=(4, 8, 16),
+        seed=22,
+    )
+
+
 NAMED_SWEEPS: dict[str, Callable[..., SweepSpec]] = {
     "smoke": _smoke,
     "policy-compare-d7": _policy_compare_d7,
@@ -107,12 +147,40 @@ NAMED_SWEEPS: dict[str, Callable[..., SweepSpec]] = {
     "ler-scaling": _ler_scaling,
     "error-rate-sensitivity": _error_rate_sensitivity,
     "distance-sensitivity": _distance_sensitivity,
+    "realtime-ler": _realtime_ler,
+    "realtime-throughput": _realtime_throughput,
+}
+
+#: Presets grouped by the subsystem that executes them: ``offline`` sweeps
+#: decode (if at all) after the run ends; ``realtime`` sweeps route through
+#: the :mod:`repro.realtime` sliding-window pipeline.
+SWEEP_GROUPS: dict[str, tuple[str, ...]] = {
+    "offline": (
+        "distance-sensitivity",
+        "dlp-surface",
+        "error-rate-sensitivity",
+        "ler-scaling",
+        "policy-compare-d7",
+        "smoke",
+    ),
+    "realtime": (
+        "realtime-ler",
+        "realtime-throughput",
+    ),
 }
 
 
 def sweep_names() -> list[str]:
     """Names accepted by :func:`build_sweep` and the CLI, sorted."""
     return sorted(NAMED_SWEEPS)
+
+
+def sweep_subsystem(name: str) -> str:
+    """The subsystem group (``offline`` / ``realtime``) a preset belongs to."""
+    for group, names in SWEEP_GROUPS.items():
+        if name in names:
+            return group
+    raise ValueError(f"unknown sweep {name!r}; known: {sweep_names()}")
 
 
 def build_sweep(name: str, scale=None) -> SweepSpec:

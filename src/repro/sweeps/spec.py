@@ -52,7 +52,19 @@ class SweepSpec:
         Defaults to the legacy convention: on for undecoded sweeps, off for
         decoded ones.
     decoder_method:
-        Decoder backend for decoded sweeps (``matching`` or ``union-find``).
+        Decoder backend for decoded sweeps (``matching`` or ``union_find``).
+    decoder_max_exact_nodes / decoder_strategy:
+        Matching-decoder tuning forwarded to
+        :func:`repro.decoders.make_decoder` (exact->greedy threshold and
+        the ``auto``/``exact``/``greedy`` strategy pin).
+    windows:
+        Sliding-window axis for decoded sweeps: each entry is a
+        ``window_rounds`` value routed through the
+        :mod:`repro.realtime` windowed decode path, with ``None`` meaning
+        plain offline decoding.  Rows are labelled with their ``window``.
+    commit_rounds:
+        Rounds committed per window step (``None``: the windowed decoder's
+        default of half the window).
     seed:
         Base seed; every unit derives its shard seeds from this plus its own
         cache key, so grid points are statistically independent.
@@ -69,6 +81,10 @@ class SweepSpec:
     decoded: bool = False
     leakage_sampling: bool | None = None
     decoder_method: str = "matching"
+    decoder_max_exact_nodes: int | None = None
+    decoder_strategy: str | None = None
+    windows: Sequence[int | None] = (None,)
+    commit_rounds: int | None = None
     seed: int = 0
     extra_labels: tuple[tuple[str, object], ...] = field(default_factory=tuple)
 
@@ -85,31 +101,45 @@ class SweepSpec:
             if self.leakage_sampling is not None
             else not self.decoded
         )
+        # Legacy single-point sweeps keep their exact historical labels; the
+        # window coordinate is only stamped when the spec actually uses it.
+        label_windows = len(tuple(self.windows)) > 1 or tuple(self.windows)[0] is not None
+        if label_windows and not self.decoded:
+            # Undecoded runs never decode, so a window axis would compile to
+            # units with identical cache keys under different labels.
+            raise ValueError("windows only apply to decoded sweeps (set decoded=True)")
         compiled: list[WorkUnit] = []
         for distance in self.distances:
             rounds = self.rounds_for(distance)
             for p in self.error_rates:
                 for leakage_ratio in self.leakage_ratios:
                     noise = make_unit_noise(p, leakage_ratio)
-                    for policy in self.policies:
-                        compiled.append(
-                            WorkUnit(
-                                family=self.family,
-                                distance=int(distance),
-                                noise=noise,
-                                policy=policy,
-                                shots=int(self.shots),
-                                rounds=rounds,
-                                decoded=self.decoded,
-                                leakage_sampling=sampling,
-                                decoder_method=self.decoder_method,
-                                seed=int(self.seed),
-                                labels=(
-                                    ("distance", int(distance)),
-                                    ("p", float(p)),
-                                    ("leakage_ratio", float(leakage_ratio)),
-                                )
-                                + tuple(self.extra_labels),
+                    for window in self.windows:
+                        for policy in self.policies:
+                            labels = (
+                                ("distance", int(distance)),
+                                ("p", float(p)),
+                                ("leakage_ratio", float(leakage_ratio)),
                             )
-                        )
+                            if label_windows:
+                                labels += (("window", window),)
+                            compiled.append(
+                                WorkUnit(
+                                    family=self.family,
+                                    distance=int(distance),
+                                    noise=noise,
+                                    policy=policy,
+                                    shots=int(self.shots),
+                                    rounds=rounds,
+                                    decoded=self.decoded,
+                                    leakage_sampling=sampling,
+                                    decoder_method=self.decoder_method,
+                                    decoder_max_exact_nodes=self.decoder_max_exact_nodes,
+                                    decoder_strategy=self.decoder_strategy,
+                                    window_rounds=window,
+                                    commit_rounds=self.commit_rounds if window else None,
+                                    seed=int(self.seed),
+                                    labels=labels + tuple(self.extra_labels),
+                                )
+                            )
         return compiled

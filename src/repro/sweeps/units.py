@@ -41,8 +41,10 @@ __all__ = [
 ]
 
 #: Bump when the shard payload or summary format changes so stale cache
-#: entries are never deserialised into the new layout.
-ENGINE_VERSION = 1
+#: entries are never deserialised into the new layout.  v2: decoder tuning
+#: (max_exact_nodes / strategy) and realtime window configuration joined the
+#: cache key.
+ENGINE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -67,6 +69,10 @@ class WorkUnit:
     decoded: bool = False
     leakage_sampling: bool = True
     decoder_method: str = "matching"
+    decoder_max_exact_nodes: int | None = None
+    decoder_strategy: str | None = None
+    window_rounds: int | None = None
+    commit_rounds: int | None = None
     seed: int = 0
     policy_config: GraphModelConfig | None = None
     code: StabilizerCode | None = None
@@ -150,6 +156,12 @@ def unit_key(unit: WorkUnit, shard_sizes: tuple[int, ...] | None = None) -> str:
         "decoded": unit.decoded,
         "leakage_sampling": unit.leakage_sampling,
         "decoder_method": unit.decoder_method if unit.decoded else None,
+        "decoder_tuning": (
+            [unit.decoder_max_exact_nodes, unit.decoder_strategy]
+            if unit.decoded
+            else None
+        ),
+        "window": ([unit.window_rounds, unit.commit_rounds] if unit.decoded else None),
         "seed": unit.seed,
     }
     if shard_sizes is not None and len(shard_sizes) > 1:
@@ -182,6 +194,10 @@ def run_shard(unit: WorkUnit, shots: int, seed: int) -> dict[str, Any]:
             decoder_method=unit.decoder_method,
             leakage_sampling=unit.leakage_sampling,
             seed=seed,
+            window_rounds=unit.window_rounds,
+            commit_rounds=unit.commit_rounds,
+            decoder_max_exact_nodes=unit.decoder_max_exact_nodes,
+            decoder_strategy=unit.decoder_strategy,
         )
         result = experiment.run(shots=shots, rounds=unit.rounds)
         return {

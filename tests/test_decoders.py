@@ -135,3 +135,120 @@ def test_greedy_fallback_used_for_large_syndromes(surface_d3):
     final = rng.random(graph.num_z_stabs) < 0.2
     # Must complete and return a valid parity even through the greedy path.
     assert decoder.decode_shot(history, final) in (0, 1)
+
+
+# --------------------------------------------------------------------- #
+# Exact -> greedy fallback boundary and decoder tuning knobs
+# --------------------------------------------------------------------- #
+def _spy_on_strategies(decoder):
+    """Count which matching backend a decoder actually invokes."""
+    calls = {"exact": 0, "greedy": 0}
+    exact, greedy = decoder._exact_matching, decoder._greedy_matching
+
+    def count_exact(*args, **kwargs):
+        calls["exact"] += 1
+        return exact(*args, **kwargs)
+
+    def count_greedy(*args, **kwargs):
+        calls["greedy"] += 1
+        return greedy(*args, **kwargs)
+
+    decoder._exact_matching = count_exact
+    decoder._greedy_matching = count_greedy
+    return calls
+
+
+def _fire(graph, count):
+    """A detector record with exactly ``count`` fired detectors."""
+    history = np.zeros((graph.rounds, graph.num_z_stabs), dtype=bool)
+    final = np.zeros(graph.num_z_stabs, dtype=bool)
+    flat = history.reshape(-1)
+    flat[:count] = True
+    return history, final
+
+
+def test_fallback_boundary_empty_at_and_over_threshold(graph_d3):
+    threshold = 4
+    # Empty syndrome: neither backend runs, the prediction is trivially 0.
+    decoder = MatchingDecoder(graph_d3, max_exact_nodes=threshold)
+    calls = _spy_on_strategies(decoder)
+    assert decoder.decode_shot(*_fire(graph_d3, 0)) == 0
+    assert calls == {"exact": 0, "greedy": 0}
+
+    # Exactly at the threshold: still exact.
+    decoder = MatchingDecoder(graph_d3, max_exact_nodes=threshold)
+    calls = _spy_on_strategies(decoder)
+    assert decoder.decode_shot(*_fire(graph_d3, threshold)) in (0, 1)
+    assert calls == {"exact": 1, "greedy": 0}
+
+    # One over: greedy takes over.
+    decoder = MatchingDecoder(graph_d3, max_exact_nodes=threshold)
+    calls = _spy_on_strategies(decoder)
+    assert decoder.decode_shot(*_fire(graph_d3, threshold + 1)) in (0, 1)
+    assert calls == {"exact": 0, "greedy": 1}
+
+
+def test_strategy_pin_overrides_threshold(graph_d3):
+    # "greedy" ignores how small the syndrome is...
+    decoder = MatchingDecoder(graph_d3, max_exact_nodes=60, strategy="greedy")
+    calls = _spy_on_strategies(decoder)
+    decoder.decode_shot(*_fire(graph_d3, 2))
+    assert calls == {"exact": 0, "greedy": 1}
+    # ...and "exact" ignores how large it is.
+    decoder = MatchingDecoder(graph_d3, max_exact_nodes=2, strategy="exact")
+    calls = _spy_on_strategies(decoder)
+    decoder.decode_shot(*_fire(graph_d3, 6))
+    assert calls == {"exact": 1, "greedy": 0}
+
+
+def test_matching_decoder_validates_tuning(graph_d3):
+    with pytest.raises(ValueError):
+        MatchingDecoder(graph_d3, strategy="fastest")
+    with pytest.raises(ValueError):
+        MatchingDecoder(graph_d3, max_exact_nodes=-1)
+
+
+def test_make_decoder_forwards_tuning(graph_d3):
+    decoder = make_decoder(graph_d3, "matching", max_exact_nodes=7, strategy="greedy")
+    assert decoder.max_exact_nodes == 7
+    assert decoder.strategy == "greedy"
+    # union-find has no such knobs; a requested configuration must not be
+    # silently dropped.
+    with pytest.raises(ValueError):
+        make_decoder(graph_d3, "union_find", max_exact_nodes=7)
+    assert isinstance(make_decoder(graph_d3, "union-find"), UnionFindDecoder)
+
+
+def test_hyperedge_decomposition_opt_in():
+    from repro.codes import color_code
+
+    code = color_code(3)
+    with pytest.raises(ValueError):
+        DetectorGraph(code=code, rounds=3)
+    graph = DetectorGraph(code=code, rounds=3, hyperedges="decompose")
+    assert graph.edges  # chain decomposition produced a connected graph
+    history = np.zeros((3, graph.num_z_stabs), dtype=bool)
+    final = np.zeros(graph.num_z_stabs, dtype=bool)
+    assert MatchingDecoder(graph).decode_shot(history, final) == 0
+    with pytest.raises(ValueError):
+        DetectorGraph(code=code, rounds=3, hyperedges="maybe")
+
+
+def test_hyperedge_decomposition_has_no_conflicting_parallel_edges():
+    """Equal-weight parallel edges with different flips_logical would be
+    collapsed arbitrarily by the edge lookup; the decomposition must not
+    create any (regression: colour-code d=5 chains used to)."""
+    from collections import defaultdict
+
+    from repro.codes import color_code
+
+    for distance in (3, 5):
+        graph = DetectorGraph(
+            code=color_code(distance), rounds=2, hyperedges="decompose"
+        )
+        flips_by_pair = defaultdict(set)
+        for edge in graph.edges:
+            key = (min(edge.node_a, edge.node_b), max(edge.node_a, edge.node_b), edge.weight)
+            flips_by_pair[key].add(edge.flips_logical)
+        conflicts = [key for key, flips in flips_by_pair.items() if len(flips) > 1]
+        assert not conflicts, f"d={distance}: {len(conflicts)} ambiguous pairs"

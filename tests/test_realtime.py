@@ -1,0 +1,314 @@
+"""Tests of the realtime subsystem: streams, sliding windows, decode service."""
+
+import numpy as np
+import pytest
+
+from repro.codes import color_code, surface_code
+from repro.core import make_policy
+from repro.decoders import DetectorGraph, make_decoder
+from repro.experiments import MemoryExperiment
+from repro.noise import ideal_noise, paper_noise
+from repro.realtime import (
+    DecodeService,
+    LatencyRecorder,
+    ReplayStream,
+    SimulatorStream,
+    WindowedDecoder,
+)
+from repro.sim import LeakageSimulator, SimulatorOptions
+
+HEAVY = paper_noise(p=2e-3, leakage_ratio=1.0)
+
+
+def _recorded_run(code, noise, shots, rounds, seed, policy="eraser+m"):
+    simulator = LeakageSimulator(
+        code=code,
+        noise=noise,
+        policy=make_policy(policy),
+        options=SimulatorOptions(record_detectors=True),
+        seed=seed,
+    )
+    return simulator.run(shots=shots, rounds=rounds)
+
+
+# --------------------------------------------------------------------- #
+# Streams
+# --------------------------------------------------------------------- #
+def test_replay_stream_chunks_round_trip(surface_d3):
+    result = _recorded_run(surface_d3, HEAVY, shots=12, rounds=5, seed=1)
+    stream = ReplayStream.from_run_result(result)
+    assert (stream.shots, stream.rounds) == (12, 5)
+    chunks = list(stream.chunks())
+    assert [c.round_index for c in chunks] == list(range(5))
+    for index, chunk in enumerate(chunks):
+        assert np.array_equal(chunk.detectors, result.detector_history[:, index, :])
+    final = stream.final()
+    assert np.array_equal(final.final_detectors, result.final_detectors)
+    assert np.array_equal(final.observable_flips, result.observable_flips)
+
+
+def test_replay_stream_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        ReplayStream(np.zeros((3, 4), dtype=bool), np.zeros((3, 4), dtype=bool))
+    with pytest.raises(ValueError):
+        ReplayStream(np.zeros((3, 4, 2), dtype=bool), np.zeros((3, 5), dtype=bool))
+
+
+def test_simulator_stream_matches_offline_run(surface_d3):
+    """Streaming the simulator is bit-identical to running it offline."""
+    offline = _recorded_run(surface_d3, HEAVY, shots=15, rounds=6, seed=9)
+    stream = SimulatorStream(
+        code=surface_d3,
+        noise=HEAVY,
+        policy=make_policy("eraser+m"),
+        shots=15,
+        rounds=6,
+        seed=9,
+    )
+    for chunk in stream.chunks():
+        assert np.array_equal(
+            chunk.detectors, offline.detector_history[:, chunk.round_index, :]
+        )
+    final = stream.final()
+    assert np.array_equal(final.final_detectors, offline.final_detectors)
+    assert np.array_equal(final.observable_flips, offline.observable_flips)
+    assert stream.result.summary() == offline.summary()
+
+
+def test_simulator_stream_final_requires_exhaustion(surface_d3):
+    stream = SimulatorStream(
+        code=surface_d3, noise=HEAVY, policy=make_policy("no-lrc"), shots=5, rounds=3
+    )
+    with pytest.raises(RuntimeError):
+        stream.final()
+
+
+# --------------------------------------------------------------------- #
+# Windowed decoding: proof-of-equivalence path
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("make_code", [lambda: surface_code(3), lambda: color_code(3)], ids=["surface", "color"])
+@pytest.mark.parametrize("method", ["matching", "union_find"])
+def test_full_window_matches_offline_memory_experiment(make_code, method):
+    """window >= rounds must reproduce offline failure counts bit-for-bit."""
+    code = make_code()
+    kwargs = dict(
+        code=code,
+        noise=HEAVY,
+        policy=make_policy("eraser+m"),
+        decoder_method=method,
+        seed=13,
+    )
+    offline = MemoryExperiment(**kwargs).run(shots=40, rounds=6)
+    windowed = MemoryExperiment(**kwargs, window_rounds=6).run(shots=40, rounds=6)
+    oversized = MemoryExperiment(**kwargs, window_rounds=50).run(shots=40, rounds=6)
+    assert windowed.failures == offline.failures
+    assert oversized.failures == offline.failures
+    assert windowed.summary() == offline.summary()
+
+
+@pytest.mark.parametrize("method", ["matching", "union_find"])
+def test_full_window_stream_pipeline_matches_offline_decode(surface_d3, method):
+    """stream -> window -> commit equals offline graph decoding exactly."""
+    result = _recorded_run(surface_d3, HEAVY, shots=30, rounds=8, seed=3)
+    graph = DetectorGraph(code=surface_d3, rounds=8, noise=HEAVY)
+    offline = make_decoder(graph, method).decode_batch(
+        result.detector_history, result.final_detectors
+    )
+    windowed = WindowedDecoder(
+        code=surface_d3, noise=HEAVY, rounds=8, window_rounds=8, method=method
+    )
+    predictions = windowed.decode_stream(ReplayStream.from_run_result(result))
+    assert np.array_equal(predictions, offline)
+
+
+# --------------------------------------------------------------------- #
+# Windowed decoding: genuine sliding path
+# --------------------------------------------------------------------- #
+def test_sliding_window_noiseless_is_perfect(surface_d3):
+    result = _recorded_run(
+        surface_d3, ideal_noise(), shots=20, rounds=9, seed=2, policy="no-lrc"
+    )
+    windowed = WindowedDecoder(
+        code=surface_d3, noise=paper_noise(), rounds=9, window_rounds=3, commit_rounds=2
+    )
+    predictions = windowed.decode_stream(ReplayStream.from_run_result(result))
+    assert not predictions.any()
+
+
+@pytest.mark.parametrize("method", ["matching", "union_find"])
+def test_sliding_window_tracks_offline_accuracy(surface_d3, method):
+    """Short windows lose little accuracy and stay deterministic."""
+    result = _recorded_run(surface_d3, HEAVY, shots=80, rounds=12, seed=21)
+    graph = DetectorGraph(code=surface_d3, rounds=12, noise=HEAVY)
+    offline = make_decoder(graph, method).decode_batch(
+        result.detector_history, result.final_detectors
+    )
+    windowed = WindowedDecoder(
+        code=surface_d3, noise=HEAVY, rounds=12, window_rounds=6, commit_rounds=3,
+        method=method,
+    )
+    first = windowed.decode_stream(ReplayStream.from_run_result(result))
+    second = windowed.decode_stream(ReplayStream.from_run_result(result))
+    assert np.array_equal(first, second)  # deterministic
+    offline_failures = int((offline ^ result.observable_flips).sum())
+    window_failures = int((first ^ result.observable_flips).sum())
+    assert abs(window_failures - offline_failures) <= max(4, offline_failures // 2)
+
+
+def test_window_session_buffer_stays_bounded_and_records_latency(surface_d3):
+    result = _recorded_run(surface_d3, HEAVY, shots=10, rounds=12, seed=4)
+    recorder = LatencyRecorder()
+    windowed = WindowedDecoder(
+        code=surface_d3, noise=HEAVY, rounds=12, window_rounds=4, commit_rounds=2
+    )
+    session = windowed.session(10, recorder)
+    max_buffered = 0
+    for chunk in ReplayStream.from_run_result(result).chunks():
+        session.feed(chunk)
+        while session.ready():
+            session.step()
+        max_buffered = max(max_buffered, len(session._buffer))
+    session.finish(ReplayStream.from_run_result(result).final())
+    # The buffer never holds more than window + 1 context rounds.
+    assert max_buffered <= 5
+    assert recorder.windows == session.windows_decoded
+    assert recorder.rounds_committed == 12
+    assert recorder.percentile(99) >= recorder.percentile(50) >= 0.0
+    summary = recorder.summary()
+    assert summary["windows"] == recorder.windows
+    assert summary["realtime_factor"] >= 0.0
+
+
+def test_window_session_rejects_out_of_order_chunks(surface_d3):
+    result = _recorded_run(surface_d3, HEAVY, shots=5, rounds=4, seed=5)
+    stream = ReplayStream.from_run_result(result)
+    chunks = list(stream.chunks())
+    session = WindowedDecoder(
+        code=surface_d3, noise=HEAVY, rounds=4, window_rounds=4
+    ).session(5)
+    session.feed(chunks[0])
+    with pytest.raises(ValueError):
+        session.feed(chunks[2])
+    with pytest.raises(RuntimeError):
+        session.finish(stream.final())  # incomplete stream
+
+
+def test_windowed_decoder_validates_configuration(surface_d3):
+    with pytest.raises(ValueError):
+        WindowedDecoder(code=surface_d3, noise=HEAVY, rounds=0, window_rounds=4)
+    with pytest.raises(ValueError):
+        WindowedDecoder(code=surface_d3, noise=HEAVY, rounds=8, window_rounds=0)
+    with pytest.raises(ValueError):
+        WindowedDecoder(
+            code=surface_d3, noise=HEAVY, rounds=8, window_rounds=4, commit_rounds=5
+        )
+    default = WindowedDecoder(code=surface_d3, noise=HEAVY, rounds=20, window_rounds=8)
+    assert default.commit_rounds == 4
+    assert not default.covers_stream
+    assert WindowedDecoder(
+        code=surface_d3, noise=HEAVY, rounds=6, window_rounds=8
+    ).covers_stream
+
+
+# --------------------------------------------------------------------- #
+# Decode service
+# --------------------------------------------------------------------- #
+def _make_streams(code, count, shots=15, rounds=12):
+    return [
+        SimulatorStream(
+            code=code,
+            noise=HEAVY,
+            policy=make_policy("gladiator+m"),
+            shots=shots,
+            rounds=rounds,
+            seed=7 + 11 * index,
+        )
+        for index in range(count)
+    ]
+
+
+def test_service_multiplexes_four_streams(surface_d3):
+    reports = DecodeService(window_rounds=6, workers=3, queue_depth=2).run(
+        _make_streams(surface_d3, 4)
+    )
+    assert len(reports) == 4
+    for report in reports:
+        assert report.failures is not None
+        assert report.recorder.rounds_committed == 12
+        summary = report.summary()
+        assert summary["rounds_per_second"] > 0
+        assert summary["round_latency_p99"] >= summary["round_latency_p50"] > 0
+        assert "realtime_factor" in summary
+
+
+def test_service_results_match_serial_windowed_decode(surface_d3):
+    """Concurrency must not change any prediction: service == serial."""
+    reports = DecodeService(window_rounds=6, workers=4).run(_make_streams(surface_d3, 4))
+    for index, stream in enumerate(_make_streams(surface_d3, 4)):
+        windowed = WindowedDecoder(
+            code=surface_d3, noise=HEAVY, rounds=12, window_rounds=6
+        )
+        predictions = windowed.decode_stream(stream)
+        failures = int((predictions ^ stream.final().observable_flips).sum())
+        assert reports[index].failures == failures
+
+
+def test_service_accepts_replay_streams_with_provenance(surface_d3):
+    result = _recorded_run(surface_d3, HEAVY, shots=10, rounds=6, seed=6)
+    stream = ReplayStream.from_run_result(result)
+    stream.code, stream.noise = surface_d3, HEAVY
+    (report,) = DecodeService(window_rounds=6, workers=1).run([stream])
+    assert report.failures is not None
+
+
+def test_service_rejects_streams_without_provenance(surface_d3):
+    result = _recorded_run(surface_d3, HEAVY, shots=4, rounds=4, seed=6)
+    with pytest.raises(ValueError):
+        DecodeService(window_rounds=4).run([ReplayStream.from_run_result(result)])
+    with pytest.raises(ValueError):
+        DecodeService(window_rounds=4, workers=0)
+
+
+def test_service_empty_input():
+    assert DecodeService(window_rounds=4).run([]) == []
+
+
+# --------------------------------------------------------------------- #
+# MemoryExperiment routing and the CLI
+# --------------------------------------------------------------------- #
+def test_memory_experiment_sliding_window_path(surface_d3):
+    experiment = MemoryExperiment(
+        code=surface_d3,
+        noise=HEAVY,
+        policy=make_policy("eraser+m"),
+        seed=17,
+        window_rounds=4,
+        commit_rounds=2,
+    )
+    result = experiment.run(shots=30, rounds=10)
+    assert result.shots == 30
+    assert 0 <= result.failures <= 30
+
+
+def test_realtime_cli_runs_and_writes_records(tmp_path, capsys):
+    from repro.io import load_records
+    from repro.realtime.__main__ import main
+
+    out = tmp_path / "realtime.json"
+    argv = [
+        "--streams", "4", "--shots", "6", "--rounds", "8", "--window", "4",
+        "--workers", "2", "--out", str(out),
+    ]
+    assert main(argv) == 0
+    printed = capsys.readouterr().out
+    assert "4 streams" in printed
+    records = load_records(out)
+    assert len(records) == 4
+    assert all(record.metrics["rounds_committed"] == 8 for record in records)
+
+
+def test_realtime_cli_rejects_bad_arguments(tmp_path):
+    from repro.realtime.__main__ import main
+
+    assert main(["--streams", "0"]) == 2
+    assert main(["--family", "nope", "--distance", "3"]) == 2

@@ -320,3 +320,83 @@ def test_parallel_speedup_with_four_workers():
     parallel.run(spec)
     parallel_elapsed = time.perf_counter() - started
     assert serial_elapsed / parallel_elapsed >= 2.0
+
+
+# --------------------------------------------------------------------- #
+# Realtime presets, the window axis, and grouped listing
+# --------------------------------------------------------------------- #
+def test_sweep_groups_cover_every_preset():
+    from repro.sweeps.registry import NAMED_SWEEPS, SWEEP_GROUPS, sweep_subsystem
+
+    grouped = {name for names in SWEEP_GROUPS.values() for name in names}
+    assert grouped == set(NAMED_SWEEPS)
+    assert sweep_subsystem("smoke") == "offline"
+    assert sweep_subsystem("realtime-ler") == "realtime"
+    assert sweep_subsystem("realtime-throughput") == "realtime"
+    with pytest.raises(ValueError):
+        sweep_subsystem("nope")
+
+
+def test_window_axis_expands_and_labels_units():
+    spec = SweepSpec(
+        name="windowed",
+        distances=(3,),
+        policies=("eraser+m",),
+        shots=10,
+        rounds=12,
+        decoded=True,
+        windows=(None, 4, 8),
+        commit_rounds=2,
+    )
+    units = spec.units()
+    assert [unit.window_rounds for unit in units] == [None, 4, 8]
+    # commit_rounds only applies where a window does.
+    assert [unit.commit_rounds for unit in units] == [None, 2, 2]
+    assert [dict(unit.labels)["window"] for unit in units] == [None, 4, 8]
+    # Specs that do not sweep windows keep their historical label layout.
+    legacy = SweepSpec(name="plain", distances=(3,), policies=("eraser+m",), shots=10, rounds=5)
+    assert "window" not in dict(legacy.units()[0].labels)
+
+
+def test_unit_key_sees_window_and_decoder_tuning():
+    base = _unit(decoded=True)
+    assert unit_key(base) != unit_key(_unit(decoded=True, window_rounds=6))
+    assert unit_key(_unit(decoded=True, window_rounds=6)) != unit_key(
+        _unit(decoded=True, window_rounds=6, commit_rounds=2)
+    )
+    assert unit_key(base) != unit_key(_unit(decoded=True, decoder_max_exact_nodes=10))
+    assert unit_key(base) != unit_key(_unit(decoded=True, decoder_strategy="greedy"))
+    # Undecoded units never decode, so decoder tuning must not split keys.
+    assert unit_key(_unit()) == unit_key(_unit(decoder_max_exact_nodes=10))
+
+
+def test_windowed_unit_runs_through_engine(monkeypatch):
+    monkeypatch.setenv("REPRO_SCALE", "smoke")
+    unit = _unit(decoded=True, leakage_sampling=False, shots=20, rounds=8, window_rounds=4)
+    row = run_unit_serial(unit)
+    assert 0.0 <= row["ler"] <= 1.0
+    # A full-cover window is bit-identical to the offline decode of the unit.
+    offline = run_unit_serial(_unit(decoded=True, leakage_sampling=False, shots=20, rounds=8))
+    covered = run_unit_serial(
+        _unit(decoded=True, leakage_sampling=False, shots=20, rounds=8, window_rounds=8)
+    )
+    assert covered["ler"] == offline["ler"]
+
+
+def test_cli_list_groups_presets_by_subsystem(capsys):
+    from repro.sweeps.__main__ import main
+
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert out.index("offline:") < out.index("  smoke")
+    assert out.index("realtime:") < out.index("  realtime-ler")
+    assert "other:" not in out
+
+
+def test_window_axis_rejected_on_undecoded_sweeps():
+    """An undecoded unit never decodes, so a window axis would compile to
+    identical cache keys under different labels — refuse it outright."""
+    spec = SweepSpec(name="bad", distances=(3,), policies=("eraser+m",), shots=10,
+                     rounds=5, windows=(4, 8))
+    with pytest.raises(ValueError):
+        spec.units()
