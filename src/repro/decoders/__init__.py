@@ -1,5 +1,7 @@
 """Decoders for memory experiments (MWPM and union-find)."""
 
+from .base import DecoderBase
+from .cache import DEFAULT_CACHE_ENTRIES, SyndromeCache
 from .detector_graph import DetectorGraph, GraphEdge
 from .matching import STRATEGIES, MatchingDecoder
 from .union_find import UnionFindDecoder
@@ -7,8 +9,11 @@ from .union_find import UnionFindDecoder
 __all__ = [
     "DetectorGraph",
     "GraphEdge",
+    "DecoderBase",
     "MatchingDecoder",
     "UnionFindDecoder",
+    "SyndromeCache",
+    "DEFAULT_CACHE_ENTRIES",
     "STRATEGIES",
     "make_decoder",
 ]
@@ -20,6 +25,8 @@ def make_decoder(
     *,
     max_exact_nodes: int | None = None,
     strategy: str | None = None,
+    cache: SyndromeCache | None = None,
+    cache_size: int | None = None,
 ):
     """Factory: ``"matching"`` for MWPM, ``"union_find"`` for the UF decoder.
 
@@ -27,7 +34,16 @@ def make_decoder(
     exact-vs-greedy trade-off (see :class:`MatchingDecoder`); they are
     rejected for decoders that have no such knob so a sweep cannot silently
     ignore a requested configuration.
+
+    ``cache`` attaches an existing :class:`SyndromeCache` (shared across
+    decoders by the realtime service); ``cache_size`` instead sizes a fresh
+    private cache (``0`` disables cross-call caching).  Both apply to every
+    decoder, since batching and caching live in :class:`DecoderBase`.
     """
+    if cache is not None and cache_size is not None:
+        raise ValueError("pass either cache or cache_size, not both")
+    if cache is None and cache_size is not None:
+        cache = SyndromeCache(cache_size)
     method = method.replace("-", "_")
     if method == "matching":
         kwargs: dict = {}
@@ -35,11 +51,11 @@ def make_decoder(
             kwargs["max_exact_nodes"] = int(max_exact_nodes)
         if strategy is not None:
             kwargs["strategy"] = strategy
-        return MatchingDecoder(graph, **kwargs)
+        return MatchingDecoder(graph, cache=cache, **kwargs)
     if method == "union_find":
         if max_exact_nodes is not None or strategy is not None:
             raise ValueError(
                 "max_exact_nodes/strategy only apply to the matching decoder"
             )
-        return UnionFindDecoder(graph)
+        return UnionFindDecoder(graph, cache=cache)
     raise ValueError(f"unknown decoder method {method!r}")

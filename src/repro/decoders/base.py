@@ -1,0 +1,182 @@
+"""Template base class for matching-style decoders: batching and caching.
+
+Both concrete decoders (:class:`~repro.decoders.matching.MatchingDecoder`
+and :class:`~repro.decoders.union_find.UnionFindDecoder`) reduce to the
+same skeleton: extract the fired detector nodes of a shot, turn them into a
+correction — a list of detector-graph edges — and read the logical-flip
+parity off that edge list.  Only the middle step differs, so it is the one
+hook subclasses implement (:meth:`_edges_for_syndrome`); everything around
+it lives here exactly once:
+
+* **per-shot entry points** — :meth:`decode_shot` (logical parity) and
+  :meth:`decode_shot_edges` (explicit edges, used by windowed decoding),
+* **the batched fast path** — :meth:`decode_batch` /
+  :meth:`decode_edges_batch` pack the whole ``(shots, rounds, detectors)``
+  record into per-shot syndrome bitstrings with whole-batch NumPy ops,
+  deduplicate identical syndromes via ``np.unique`` and decode each unique
+  syndrome once.  At low physical error rates most shots share a handful of
+  syndromes, so one decode serves thousands of shots,
+* **the cross-call cache** — every decoded syndrome lands in a
+  :class:`~repro.decoders.cache.SyndromeCache` keyed by the detector
+  graph's fingerprint plus the decoder's own configuration, so repeated
+  batches, sliding windows and multiplexed realtime streams all reuse each
+  other's work.  Decoders with different tuning (strategy, thresholds)
+  never alias: the tuning is part of the key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .cache import SyndromeCache
+from .detector_graph import DetectorGraph
+
+__all__ = ["DecoderBase"]
+
+#: Cached entry: (correction edges, logical-flip parity).
+_Entry = tuple[tuple[tuple[int, int], ...], int]
+
+#: Syndromes firing more detectors than this bypass the cache entirely.
+#: Heavy syndromes (un-mitigated leakage floods) are essentially never
+#: repeated, so caching them buys no hits while each entry would hold a
+#: large edge list — this bound keeps the cache's memory footprint tied to
+#: the small, shareable syndromes it exists for.
+_CACHE_MAX_FIRED = 32
+
+
+@dataclass
+class DecoderBase:
+    """Shared decode/batch/cache machinery over a :class:`DetectorGraph`.
+
+    ``cache`` is the syndrome->correction store; ``None`` gives the decoder
+    a private cache of the default capacity.  Pass an explicit
+    :class:`SyndromeCache` to share one across decoders (the realtime
+    service does), or ``SyndromeCache(0)`` to disable cross-call reuse.
+    """
+
+    graph: DetectorGraph
+    cache: SyndromeCache | None = field(default=None, kw_only=True, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cache is None:
+            self.cache = SyndromeCache()
+        self._cache_prefix = (self.graph.fingerprint, self._cache_config())
+
+    # ------------------------------------------------------------------ #
+    # Subclass hooks
+    # ------------------------------------------------------------------ #
+    def _edges_for_syndrome(self, flagged: np.ndarray) -> list[tuple[int, int]]:
+        """Correction edges for one non-empty set of fired detector nodes."""
+        raise NotImplementedError
+
+    def _cache_config(self) -> tuple:
+        """Hashable decoder configuration mixed into every cache key."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Per-shot entry points
+    # ------------------------------------------------------------------ #
+    def decode_shot(
+        self, detector_history: np.ndarray, final_detectors: np.ndarray
+    ) -> int:
+        """Predict the logical flip (0/1) for one shot."""
+        return self._decode_entry(detector_history, final_detectors)[1]
+
+    def decode_shot_edges(
+        self, detector_history: np.ndarray, final_detectors: np.ndarray
+    ) -> list[tuple[int, int]]:
+        """The correction as explicit graph edges (used by windowed decoding).
+
+        Returns the list of ``(node_a, node_b)`` detector-graph edges along
+        the corrected error chains; :meth:`decode_shot` is the parity of the
+        logical-crossing edges in this list.
+        """
+        return list(self._decode_entry(detector_history, final_detectors)[0])
+
+    # ------------------------------------------------------------------ #
+    # Batched fast path
+    # ------------------------------------------------------------------ #
+    def decode_batch(
+        self, detector_history: np.ndarray, final_detectors: np.ndarray
+    ) -> np.ndarray:
+        """Predict logical flips for a batch of shots.
+
+        ``detector_history`` has shape ``(shots, rounds, num_z_stabs)`` and
+        ``final_detectors`` shape ``(shots, num_z_stabs)``.  Identical
+        detector-event bitstrings are decoded once and the result scattered
+        back over the batch; bit-identical to looping :meth:`decode_shot`.
+        """
+        history, final, first, inverse = self._deduplicate(
+            detector_history, final_detectors
+        )
+        flips = np.fromiter(
+            (self._decode_entry(history[i], final[i])[1] for i in first),
+            dtype=bool,
+            count=len(first),
+        )
+        return flips[inverse]
+
+    def decode_edges_batch(
+        self, detector_history: np.ndarray, final_detectors: np.ndarray
+    ) -> list[tuple[tuple[int, int], ...]]:
+        """Per-shot correction edges for a batch, deduplicated like
+        :meth:`decode_batch` (the windowed decoder's batch entry point)."""
+        history, final, first, inverse = self._deduplicate(
+            detector_history, final_detectors
+        )
+        entries = [self._decode_entry(history[i], final[i])[0] for i in first]
+        return [entries[j] for j in inverse]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _deduplicate(
+        detector_history: np.ndarray, final_detectors: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Whole-batch syndrome extraction and deduplication.
+
+        Returns ``(history, final, first, inverse)`` where ``first`` indexes
+        one representative shot per unique syndrome and ``inverse`` maps
+        every shot back onto its representative.
+        """
+        history = np.asarray(detector_history, dtype=bool)
+        final = np.asarray(final_detectors, dtype=bool)
+        shots = history.shape[0]
+        if shots == 0:
+            empty = np.zeros(0, dtype=np.intp)
+            return history, final, empty, empty
+        events = np.concatenate([history.reshape(shots, -1), final], axis=1)
+        packed = np.packbits(events, axis=1)
+        _, first, inverse = np.unique(
+            packed, axis=0, return_index=True, return_inverse=True
+        )
+        return history, final, first, inverse.reshape(-1)
+
+    def _decode_entry(
+        self, detector_history: np.ndarray, final_detectors: np.ndarray
+    ) -> _Entry:
+        """(edges, flip) for one shot, served from the cache when possible."""
+        flagged = self.graph.flagged_nodes(detector_history, final_detectors)
+        if flagged.size == 0:
+            return ((), 0)
+        cacheable = flagged.size <= _CACHE_MAX_FIRED
+        if cacheable:
+            key = (self._cache_prefix, flagged.astype(np.int64, copy=False).tobytes())
+            entry = self.cache.get(key)
+            if entry is not None:
+                return entry
+        edges = tuple(
+            (int(a), int(b)) for a, b in self._edges_for_syndrome(flagged)
+        )
+        parity = 0
+        for node_a, node_b in edges:
+            edge = self.graph.edge_between(node_a, node_b)
+            if edge is not None and edge.flips_logical:
+                parity ^= 1
+        entry = (edges, parity)
+        if cacheable:
+            self.cache.put(key, entry)
+        return entry

@@ -16,6 +16,7 @@ observable, so a matching can be converted into a logical-flip prediction.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -27,6 +28,12 @@ from ..codes.base import StabilizerCode
 from ..noise import NoiseParams
 
 __all__ = ["DetectorGraph", "GraphEdge"]
+
+#: Node-count gate for the cached all-pairs shortest-path tables.  Below it
+#: one dijkstra call serves every decode of the graph's lifetime (the batch
+#: engine's hot path); above it the tables would cost O(n^2) memory, so
+#: per-syndrome dijkstra is used instead.
+_ALL_PAIRS_MAX_NODES = 2048
 
 
 @dataclass(frozen=True)
@@ -253,6 +260,27 @@ class DetectorGraph:
         """The edge joining two nodes, or ``None``."""
         return self._edge_lookup.get((min(node_a, node_b), max(node_a, node_b)))
 
+    @cached_property
+    def fingerprint(self) -> str:
+        """Content digest of the decoding problem this graph defines.
+
+        Two graphs share a fingerprint exactly when they decode identically:
+        same node layout and same edge set (endpoints, weights, logical-flip
+        parities).  The syndrome cache (:mod:`repro.decoders.cache`) keys on
+        this, so corrections computed against one graph instance are safely
+        reused by any structurally identical instance — and never by a graph
+        that differs in rounds, noise weighting or code structure.
+        """
+        digest = hashlib.sha256()
+        digest.update(repr((self.num_nodes, self.boundary_node)).encode())
+        for edge in self.edges:
+            digest.update(
+                repr(
+                    (edge.node_a, edge.node_b, edge.weight, edge.flips_logical)
+                ).encode()
+            )
+        return digest.hexdigest()
+
     # ------------------------------------------------------------------ #
     # Detector serialisation and shortest paths
     # ------------------------------------------------------------------ #
@@ -266,10 +294,23 @@ class DetectorGraph:
         flat = layers.reshape(-1)
         return np.nonzero(flat)[0]
 
+    @cached_property
+    def _all_pairs(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """All-pairs (distances, predecessors), or ``None`` past the size gate."""
+        if self.num_nodes > _ALL_PAIRS_MAX_NODES:
+            return None
+        return dijkstra(
+            self.sparse_weights, directed=False, return_predecessors=True
+        )
+
     def shortest_paths_from(
         self, sources: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
         """Dijkstra distances and predecessors from the given source nodes."""
+        all_pairs = self._all_pairs
+        if all_pairs is not None:
+            distances, predecessors = all_pairs
+            return distances[sources], predecessors[sources]
         distances, predecessors = dijkstra(
             self.sparse_weights,
             directed=False,

@@ -7,6 +7,10 @@ cluster selects the correction edges.  Accuracy is slightly below MWPM but
 the cost scales almost linearly with the syndrome size, which makes it the
 better choice for the long leakage-heavy runs where un-mitigated leakage
 floods the syndrome record.
+
+Batching, syndrome deduplication and the cross-call correction cache are
+inherited from :class:`~repro.decoders.base.DecoderBase`; this module only
+implements cluster growth and peeling.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .detector_graph import DetectorGraph
+from .base import DecoderBase
 
 __all__ = ["UnionFindDecoder"]
 
@@ -59,44 +63,22 @@ class _DisjointSet:
 
 
 @dataclass
-class UnionFindDecoder:
-    """Cluster-growth + peeling decoder over a :class:`DetectorGraph`."""
+class UnionFindDecoder(DecoderBase):
+    """Cluster-growth + peeling decoder over a
+    :class:`~repro.decoders.detector_graph.DetectorGraph`."""
 
-    graph: DetectorGraph
     max_growth_steps: int = 10_000
 
-    def decode_shot(
-        self, detector_history: np.ndarray, final_detectors: np.ndarray
-    ) -> int:
-        """Predict the logical flip (0/1) for one shot."""
-        parity = 0
-        for node_a, node_b in self.decode_shot_edges(detector_history, final_detectors):
-            edge = self.graph.edge_between(node_a, node_b)
-            if edge is not None and edge.flips_logical:
-                parity ^= 1
-        return parity
+    def _cache_config(self) -> tuple:
+        return ("union_find", self.max_growth_steps)
 
-    def decode_shot_edges(
-        self, detector_history: np.ndarray, final_detectors: np.ndarray
-    ) -> list[tuple[int, int]]:
-        """The correction as explicit graph edges (used by windowed decoding)."""
-        flagged = set(int(n) for n in self.graph.flagged_nodes(detector_history, final_detectors))
-        if not flagged:
-            return []
-        cluster_nodes, fired = self._grow_clusters(flagged)
+    # ------------------------------------------------------------------ #
+    # Correction construction (the DecoderBase hook)
+    # ------------------------------------------------------------------ #
+    def _edges_for_syndrome(self, flagged: np.ndarray) -> list[tuple[int, int]]:
+        fired_nodes = set(int(n) for n in flagged)
+        cluster_nodes, fired = self._grow_clusters(fired_nodes)
         return self._peel(cluster_nodes, fired)
-
-    def decode_batch(
-        self, detector_history: np.ndarray, final_detectors: np.ndarray
-    ) -> np.ndarray:
-        """Predict logical flips for a batch of shots."""
-        shots = detector_history.shape[0]
-        predictions = np.zeros(shots, dtype=bool)
-        for shot in range(shots):
-            predictions[shot] = bool(
-                self.decode_shot(detector_history[shot], final_detectors[shot])
-            )
-        return predictions
 
     # ------------------------------------------------------------------ #
     # Cluster growth

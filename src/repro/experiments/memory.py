@@ -110,6 +110,13 @@ class MemoryExperiment:
     ``decoder_max_exact_nodes`` and ``decoder_strategy`` tune the matching
     decoder's exact-vs-greedy trade-off (see
     :class:`repro.decoders.MatchingDecoder`).
+
+    ``decode_batch_size`` sets the simulate-and-decode chunk size of
+    :meth:`run` (the whole-batch NumPy decode path deduplicates syndromes
+    within each chunk); because chunk boundaries determine per-chunk RNG
+    seeds it is part of the sweep cache key.  ``decoder_cache_size`` sizes
+    the decoder's cross-call syndrome cache (``0`` disables it; ``None``
+    keeps the default) — it changes speed only, never results.
     """
 
     code: StabilizerCode
@@ -123,11 +130,25 @@ class MemoryExperiment:
     commit_rounds: int | None = None
     decoder_max_exact_nodes: int | None = None
     decoder_strategy: str | None = None
+    decode_batch_size: int | None = None
+    decoder_cache_size: int | None = None
 
-    def run(self, shots: int, rounds: int, batch_size: int = 250) -> MemoryResult:
+    #: Default simulate-and-decode chunk size when neither the experiment nor
+    #: the ``run`` call overrides it.
+    DEFAULT_BATCH_SIZE = 250
+
+    def run(self, shots: int, rounds: int, batch_size: int | None = None) -> MemoryResult:
         """Simulate ``shots`` shots (in batches) and decode every one of them."""
         if shots <= 0 or rounds <= 0:
             raise ValueError("shots and rounds must be positive")
+        if batch_size is None:
+            batch_size = (
+                self.decode_batch_size
+                if self.decode_batch_size is not None
+                else self.DEFAULT_BATCH_SIZE
+            )
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
         decode_batch = self._make_decode(rounds)
 
         failures = 0
@@ -185,6 +206,7 @@ class MemoryExperiment:
                 method=self.decoder_method,
                 max_exact_nodes=self.decoder_max_exact_nodes,
                 strategy=self.decoder_strategy,
+                cache_size=self.decoder_cache_size,
             ).decode_batch
         graph = DetectorGraph(
             code=self.code, rounds=rounds, noise=self.noise, hyperedges="decompose"
@@ -194,6 +216,7 @@ class MemoryExperiment:
             self.decoder_method,
             max_exact_nodes=self.decoder_max_exact_nodes,
             strategy=self.decoder_strategy,
+            cache_size=self.decoder_cache_size,
         )
         return decoder.decode_batch
 

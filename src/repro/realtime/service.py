@@ -26,6 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..decoders import SyndromeCache
 from .accounting import LatencyRecorder, StreamReport
 from .stream import SyndromeStream
 from .window import WindowedDecoder, WindowSession
@@ -84,6 +85,12 @@ class DecodeService:
     queue_depth:
         Bound of the pending-window queue; the producer blocks when it is
         full (backpressure).  Defaults to ``max(2, workers)``.
+    cache_size:
+        Capacity of the service-wide :class:`~repro.decoders.SyndromeCache`
+        (``None``: default capacity, ``0``: disabled).  All attached streams
+        decode through this one cache — streams of the same code and noise
+        overwhelmingly share sparse syndromes, so one stream's decode work
+        serves every other stream the service multiplexes.
     """
 
     def __init__(
@@ -95,6 +102,7 @@ class DecodeService:
         strategy: str | None = None,
         workers: int = 4,
         queue_depth: int | None = None,
+        cache_size: int | None = None,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -107,6 +115,7 @@ class DecodeService:
         self.queue_depth = int(queue_depth) if queue_depth is not None else max(2, workers)
         if self.queue_depth <= 0:
             raise ValueError("queue_depth must be positive")
+        self.cache = SyndromeCache(cache_size)
         self.windows_decoded = 0
         self.streams_served = 0
 
@@ -140,6 +149,7 @@ class DecodeService:
                         method=self.method,
                         max_exact_nodes=self.max_exact_nodes,
                         strategy=self.strategy,
+                        cache=self.cache,
                     ),
                 )
             )

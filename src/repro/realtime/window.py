@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..codes.base import StabilizerCode
-from ..decoders import DetectorGraph, make_decoder
+from ..decoders import DetectorGraph, SyndromeCache, make_decoder
 from ..noise import NoiseParams
 from .accounting import LatencyRecorder
 from .stream import FinalChunk, ReplayStream, RoundChunk, SyndromeStream
@@ -62,6 +62,15 @@ class WindowedDecoder:
         forward windows that communicate only through artifacts.
     method / max_exact_nodes / strategy:
         Passed through to :func:`repro.decoders.make_decoder`.
+    cache / cache_size:
+        The syndrome->correction cache shared by every window-size decoder
+        this instance builds.  Sliding windows revisit the same sparse
+        syndromes constantly, so the cache (plus the batched
+        ``decode_edges_batch`` path used per window) is where the streaming
+        throughput comes from.  Pass an existing
+        :class:`~repro.decoders.SyndromeCache` to pool syndromes across
+        decoders (the decode service shares one per service), or
+        ``cache_size=0`` to disable reuse.
     """
 
     code: StabilizerCode
@@ -72,6 +81,8 @@ class WindowedDecoder:
     method: str = "matching"
     max_exact_nodes: int | None = None
     strategy: str | None = None
+    cache: SyndromeCache | None = None
+    cache_size: int | None = None
     _decoders: dict = field(init=False, default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -86,6 +97,10 @@ class WindowedDecoder:
                 f"commit_rounds must be in [1, window_rounds]; got "
                 f"{self.commit_rounds} for window {self.window_rounds}"
             )
+        if self.cache is not None and self.cache_size is not None:
+            raise ValueError("pass either cache or cache_size, not both")
+        if self.cache is None:
+            self.cache = SyndromeCache(self.cache_size)
 
     @property
     def effective_window(self) -> int:
@@ -110,6 +125,7 @@ class WindowedDecoder:
                     self.method,
                     max_exact_nodes=self.max_exact_nodes,
                     strategy=self.strategy,
+                    cache=self.cache,
                 ),
             )
         return self._decoders[window]
@@ -200,8 +216,9 @@ class WindowSession:
         context = self._buffer[start + window]
         graph, decoder = self.windowed.decoder_for(window)
         artifacts = np.zeros((self.shots, graph.num_z_stabs), dtype=bool)
-        for shot in range(self.shots):
-            edges = decoder.decode_shot_edges(history[shot], context[shot])
+        # Batched, deduplicated decode: identical window syndromes (common at
+        # low p) are decoded once and served from the shared syndrome cache.
+        for shot, edges in enumerate(decoder.decode_edges_batch(history, context)):
             flip, artifact_stabs = _commit_edges(edges, graph, commit)
             self._parity[shot] ^= flip
             for z_local in artifact_stabs:
@@ -235,8 +252,9 @@ class WindowSession:
         graph, decoder = self.windowed.decoder_for(tail)
         # Commit boundary beyond the last layer: every edge is finalised.
         commit_all = graph.num_layers
-        for shot in range(self.shots):
-            edges = decoder.decode_shot_edges(history[shot], final_detectors[shot])
+        for shot, edges in enumerate(
+            decoder.decode_edges_batch(history, final_detectors)
+        ):
             flip, artifact_stabs = _commit_edges(edges, graph, commit_all)
             assert not artifact_stabs
             self._parity[shot] ^= flip
@@ -248,7 +266,7 @@ class WindowSession:
 
 
 def _commit_edges(
-    edges: list[tuple[int, int]], graph: DetectorGraph, commit_layer: int
+    edges: tuple[tuple[int, int], ...], graph: DetectorGraph, commit_layer: int
 ) -> tuple[bool, list[int]]:
     """Split a correction into (committed logical parity, boundary artifacts).
 

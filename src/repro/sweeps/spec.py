@@ -65,6 +65,14 @@ class SweepSpec:
     commit_rounds:
         Rounds committed per window step (``None``: the windowed decoder's
         default of half the window).
+    decode_batch_size:
+        Simulate-and-decode chunk size of each decoded unit (``None``: the
+        :class:`~repro.experiments.memory.MemoryExperiment` default).  Part
+        of the cache key — the chunk plan fixes per-chunk simulator seeds.
+    decoder_cache_size:
+        Capacity of each unit's syndrome->correction cache (``0`` disables,
+        ``None`` keeps the decoder default).  Performance-only: excluded
+        from the cache key because results are identical at any size.
     seed:
         Base seed; every unit derives its shard seeds from this plus its own
         cache key, so grid points are statistically independent.
@@ -85,6 +93,8 @@ class SweepSpec:
     decoder_strategy: str | None = None
     windows: Sequence[int | None] = (None,)
     commit_rounds: int | None = None
+    decode_batch_size: int | None = None
+    decoder_cache_size: int | None = None
     seed: int = 0
     extra_labels: tuple[tuple[str, object], ...] = field(default_factory=tuple)
 
@@ -138,6 +148,12 @@ class SweepSpec:
                                     decoder_strategy=self.decoder_strategy,
                                     window_rounds=window,
                                     commit_rounds=self.commit_rounds if window else None,
+                                    decode_batch_size=(
+                                        self.decode_batch_size if self.decoded else None
+                                    ),
+                                    decoder_cache_size=(
+                                        self.decoder_cache_size if self.decoded else None
+                                    ),
                                     seed=int(self.seed),
                                     labels=labels + tuple(self.extra_labels),
                                 )

@@ -43,8 +43,10 @@ __all__ = [
 #: Bump when the shard payload or summary format changes so stale cache
 #: entries are never deserialised into the new layout.  v2: decoder tuning
 #: (max_exact_nodes / strategy) and realtime window configuration joined the
-#: cache key.
-ENGINE_VERSION = 2
+#: cache key.  v3: ``decode_batch_size`` joined the key (the chunk plan
+#: determines per-chunk simulator seeds, so two batch sizes are different —
+#: equally valid — samples).
+ENGINE_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -73,6 +75,8 @@ class WorkUnit:
     decoder_strategy: str | None = None
     window_rounds: int | None = None
     commit_rounds: int | None = None
+    decode_batch_size: int | None = None
+    decoder_cache_size: int | None = None
     seed: int = 0
     policy_config: GraphModelConfig | None = None
     code: StabilizerCode | None = None
@@ -162,6 +166,10 @@ def unit_key(unit: WorkUnit, shard_sizes: tuple[int, ...] | None = None) -> str:
             else None
         ),
         "window": ([unit.window_rounds, unit.commit_rounds] if unit.decoded else None),
+        # decode_batch_size changes the per-chunk RNG seeds and therefore the
+        # sample; decoder_cache_size only changes speed, so it is deliberately
+        # NOT part of the key (cached rows stay valid at any cache size).
+        "decode_batch_size": unit.decode_batch_size if unit.decoded else None,
         "seed": unit.seed,
     }
     if shard_sizes is not None and len(shard_sizes) > 1:
@@ -198,6 +206,8 @@ def run_shard(unit: WorkUnit, shots: int, seed: int) -> dict[str, Any]:
             commit_rounds=unit.commit_rounds,
             decoder_max_exact_nodes=unit.decoder_max_exact_nodes,
             decoder_strategy=unit.decoder_strategy,
+            decode_batch_size=unit.decode_batch_size,
+            decoder_cache_size=unit.decoder_cache_size,
         )
         result = experiment.run(shots=shots, rounds=unit.rounds)
         return {

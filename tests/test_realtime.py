@@ -1,11 +1,15 @@
 """Tests of the realtime subsystem: streams, sliding windows, decode service."""
 
+import queue
+import threading
+import time
+
 import numpy as np
 import pytest
 
 from repro.codes import color_code, surface_code
 from repro.core import make_policy
-from repro.decoders import DetectorGraph, make_decoder
+from repro.decoders import DetectorGraph, SyndromeCache, UnionFindDecoder, make_decoder
 from repro.experiments import MemoryExperiment
 from repro.noise import ideal_noise, paper_noise
 from repro.realtime import (
@@ -271,6 +275,126 @@ def test_service_rejects_streams_without_provenance(surface_d3):
 
 def test_service_empty_input():
     assert DecodeService(window_rounds=4).run([]) == []
+
+
+# --------------------------------------------------------------------- #
+# Decode service error paths and backpressure
+# --------------------------------------------------------------------- #
+def test_service_propagates_worker_configuration_error(surface_d3):
+    """A decoder that cannot be built fails the run, not just one worker."""
+    service = DecodeService(window_rounds=6, workers=2, method="nonexistent")
+    with pytest.raises(ValueError, match="unknown decoder"):
+        service.run(_make_streams(surface_d3, 2))
+
+
+def test_service_propagates_mid_decode_exception(surface_d3, monkeypatch):
+    """An exception inside a worker's decode surfaces in run() and the pool
+    shuts down cleanly instead of hanging."""
+
+    def explode(self, flagged):
+        raise RuntimeError("decoder blew up mid-window")
+
+    monkeypatch.setattr(UnionFindDecoder, "_edges_for_syndrome", explode)
+    service = DecodeService(window_rounds=6, workers=2, method="union_find")
+    with pytest.raises(RuntimeError, match="blew up mid-window"):
+        service.run(_make_streams(surface_d3, 3))
+    # The pool is gone: only this test's thread remains of the service.
+    assert not [t for t in threading.enumerate() if t.name.startswith("decode-")]
+
+
+def test_service_backpressure_bounds_queue_under_slow_decoder(surface_d3, monkeypatch):
+    """With a slow decoder the bounded queue fills (producer blocks) and the
+    results still match the serial windowed decode exactly."""
+    from repro.realtime import service as service_module
+    from repro.realtime.window import WindowSession
+
+    max_seen = {"depth": 0}
+    lock = threading.Lock()
+    real_queue = queue.Queue
+
+    class TrackingQueue(real_queue):
+        def put(self, item, *args, **kwargs):
+            super().put(item, *args, **kwargs)
+            with lock:
+                max_seen["depth"] = max(max_seen["depth"], self.qsize())
+
+    slow_step = WindowSession.step
+
+    def step(self):
+        time.sleep(0.005)
+        return slow_step(self)
+
+    monkeypatch.setattr(service_module.queue, "Queue", TrackingQueue)
+    monkeypatch.setattr(WindowSession, "step", step)
+    service = DecodeService(window_rounds=4, commit_rounds=2, workers=1, queue_depth=1)
+    reports = service.run(_make_streams(surface_d3, 3))
+    assert max_seen["depth"] == 1  # the queue filled: backpressure engaged
+    for index, stream in enumerate(_make_streams(surface_d3, 3)):
+        windowed = WindowedDecoder(
+            code=surface_d3, noise=HEAVY, rounds=12, window_rounds=4, commit_rounds=2
+        )
+        predictions = windowed.decode_stream(stream)
+        failures = int((predictions ^ stream.final().observable_flips).sum())
+        assert reports[index].failures == failures
+
+
+# --------------------------------------------------------------------- #
+# Cached batch decoding through windows and the service
+# --------------------------------------------------------------------- #
+def test_windowed_decoder_cached_batch_path_reuses_syndromes(surface_d3):
+    result = _recorded_run(surface_d3, HEAVY, shots=30, rounds=8, seed=19)
+    shared = SyndromeCache()
+    kwargs = dict(
+        code=surface_d3, noise=HEAVY, rounds=8, window_rounds=4, commit_rounds=2
+    )
+    first = WindowedDecoder(**kwargs, cache=shared).decode_stream(
+        ReplayStream.from_run_result(result)
+    )
+    stats = shared.stats()
+    assert stats["misses"] > 0
+    # The cache changes speed only: an uncached decode is bit-identical.
+    uncached = WindowedDecoder(**kwargs, cache_size=0).decode_stream(
+        ReplayStream.from_run_result(result)
+    )
+    assert np.array_equal(first, uncached)
+    # Replaying through the same cache decodes nothing new.
+    second = WindowedDecoder(**kwargs, cache=shared).decode_stream(
+        ReplayStream.from_run_result(result)
+    )
+    assert np.array_equal(second, first)
+    replay_stats = shared.stats()
+    assert replay_stats["misses"] == stats["misses"]
+    assert replay_stats["hits"] > stats["hits"]
+    with pytest.raises(ValueError):
+        WindowedDecoder(**kwargs, cache=shared, cache_size=16)
+
+
+def test_service_streams_share_one_syndrome_cache(surface_d3):
+    """Two identical streams through one service: the second is served almost
+    entirely from the first one's cached corrections."""
+    def twin_streams():
+        return [
+            SimulatorStream(
+                code=surface_d3,
+                noise=HEAVY,
+                policy=make_policy("gladiator+m"),
+                shots=15,
+                rounds=12,
+                seed=7,
+            )
+            for _ in range(2)
+        ]
+
+    service = DecodeService(window_rounds=6, workers=1)
+    reports = service.run(twin_streams())
+    stats = service.cache.stats()
+    assert stats["hits"] > 0
+    assert reports[0].failures == reports[1].failures
+    # Disabling the service cache must not change any prediction.
+    uncached = DecodeService(window_rounds=6, workers=1, cache_size=0)
+    plain = uncached.run(twin_streams())
+    assert not uncached.cache.enabled
+    assert [r.failures for r in plain] == [r.failures for r in reports]
 
 
 # --------------------------------------------------------------------- #

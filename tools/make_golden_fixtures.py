@@ -1,0 +1,131 @@
+"""Regenerate the golden regression fixtures under ``tests/fixtures/``.
+
+Each fixture pins one small end-to-end pipeline: a recorded simulator run
+(detector history, final readout, true observable flips), the per-shot
+predictions and failure counts of both decoders on that record, and the full
+``MemoryExperiment`` summary for the same configuration.  The tier-1 test
+``tests/test_golden_fixtures.py`` replays all of it and compares bit for
+bit, so any silent drift in the simulator's RNG consumption, the decoders or
+the metrics shows up as a diff against these files.
+
+Run from the repository root (only needed when an *intentional* behaviour
+change invalidates the pinned numbers):
+
+    PYTHONPATH=src python tools/make_golden_fixtures.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.codes import color_code, surface_code  # noqa: E402
+from repro.core import make_policy  # noqa: E402
+from repro.decoders import DetectorGraph, make_decoder  # noqa: E402
+from repro.experiments import MemoryExperiment  # noqa: E402
+from repro.noise import paper_noise  # noqa: E402
+from repro.sim import LeakageSimulator, SimulatorOptions  # noqa: E402
+
+FIXTURES_DIR = ROOT / "tests" / "fixtures"
+
+#: The pinned scenarios: small enough to replay in well under a second each,
+#: noisy enough that decoding is non-trivial (failures > 0 at these sizes).
+SCENARIOS = [
+    {
+        "name": "surface_d3_eraser",
+        "family": "surface",
+        "distance": 3,
+        "p": 2e-3,
+        "leakage_ratio": 1.0,
+        "policy": "eraser+m",
+        "shots": 24,
+        "rounds": 5,
+        "seed": 11,
+    },
+    {
+        "name": "color_d3_gladiator",
+        "family": "color",
+        "distance": 3,
+        "p": 2e-3,
+        "leakage_ratio": 1.0,
+        "policy": "gladiator+m",
+        "shots": 24,
+        "rounds": 5,
+        "seed": 29,
+    },
+]
+
+
+def build_code(family: str, distance: int):
+    return surface_code(distance) if family == "surface" else color_code(distance)
+
+
+def make_fixture(scenario: dict) -> dict:
+    code = build_code(scenario["family"], scenario["distance"])
+    noise = paper_noise(p=scenario["p"], leakage_ratio=scenario["leakage_ratio"])
+    policy = make_policy(scenario["policy"])
+
+    simulator = LeakageSimulator(
+        code=code,
+        noise=noise,
+        policy=policy,
+        options=SimulatorOptions(record_detectors=True),
+        seed=scenario["seed"],
+    )
+    run = simulator.run(shots=scenario["shots"], rounds=scenario["rounds"])
+
+    graph = DetectorGraph(
+        code=code, rounds=scenario["rounds"], noise=noise, hyperedges="decompose"
+    )
+    decoders = {}
+    for method in ("matching", "union_find"):
+        predictions = make_decoder(graph, method).decode_batch(
+            run.detector_history, run.final_detectors
+        )
+        decoders[method] = {
+            "predictions": predictions.astype(int).tolist(),
+            "failures": int((predictions ^ run.observable_flips).sum()),
+        }
+
+    summaries = {}
+    for method in ("matching", "union_find"):
+        result = MemoryExperiment(
+            code=build_code(scenario["family"], scenario["distance"]),
+            noise=noise,
+            policy=make_policy(scenario["policy"]),
+            decoder_method=method,
+            seed=scenario["seed"],
+        ).run(shots=scenario["shots"], rounds=scenario["rounds"])
+        summaries[method] = result.summary()
+
+    return {
+        "scenario": scenario,
+        "detector_history": run.detector_history.astype(int).tolist(),
+        "final_detectors": run.final_detectors.astype(int).tolist(),
+        "observable_flips": run.observable_flips.astype(int).tolist(),
+        "decoders": decoders,
+        "memory_summaries": summaries,
+    }
+
+
+def main() -> int:
+    FIXTURES_DIR.mkdir(parents=True, exist_ok=True)
+    for scenario in SCENARIOS:
+        fixture = make_fixture(scenario)
+        path = FIXTURES_DIR / f"golden_{scenario['name']}.json"
+        path.write_text(json.dumps(fixture, indent=1, sort_keys=True))
+        matching = fixture["decoders"]["matching"]["failures"]
+        union_find = fixture["decoders"]["union_find"]["failures"]
+        print(
+            f"wrote {path.relative_to(ROOT)} "
+            f"(failures: matching={matching}, union_find={union_find})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
