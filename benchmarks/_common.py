@@ -21,6 +21,7 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from repro.api import ExperimentConfig, Session  # noqa: E402
 from repro.experiments import current_scale  # noqa: E402
 from repro.io import ResultRecord, banner, format_series, format_table, results_dir, save_records  # noqa: E402
 from repro.sweeps import SweepSpec, default_executor  # noqa: E402
@@ -31,7 +32,10 @@ __all__ = [
     "emit",
     "save",
     "run_sweep",
+    "run_config",
     "group_rows",
+    "ExperimentConfig",
+    "Session",
     "SweepSpec",
     "format_table",
     "format_series",
@@ -63,6 +67,18 @@ def run_sweep(spec: SweepSpec) -> list[dict]:
     without per-script changes.
     """
     return default_executor().run(spec)
+
+
+def run_config(config: ExperimentConfig | dict, axes: dict | None = None) -> list[dict]:
+    """Execute one declarative config (optionally gridded) on the sweep engine.
+
+    The config-first twin of :func:`run_sweep` for benchmarks that describe
+    their workload as an :class:`repro.api.ExperimentConfig` (or its dict
+    form) instead of a :class:`SweepSpec`.  ``axes`` maps dotted config
+    paths to value lists, exactly as :meth:`repro.api.Session.sweep` takes
+    them.
+    """
+    return Session.from_config(config).sweep(axes)
 
 
 def group_rows(rows: list[dict], key: str) -> dict:

@@ -6,10 +6,9 @@ ERASER, ERASER+M, MLR-only, Staggered Always-LRC and GLADIATOR+M — the same
 policy line-up as the paper's Table 2 (its "Ours" column).
 """
 
-from _common import current_scale, emit, format_table, run_once, save
+from _common import ExperimentConfig, current_scale, emit, format_table, run_config, run_once, save
 
-from repro.experiments import compare_policies, leakage_equilibrium, make_code
-from repro.noise import paper_noise
+from repro.experiments import leakage_equilibrium
 
 POLICIES = ("always-lrc", "eraser", "eraser+m", "mlr-only", "staggered", "gladiator+m")
 
@@ -19,15 +18,28 @@ def test_table2_detection_efficacy(benchmark):
     shots = scale.shots(250)
     short_rounds = scale.rounds(70)
     long_rounds = scale.rounds(210)
-    code = make_code("surface", 7)
-    noise = paper_noise(p=1e-3, leakage_ratio=0.1)
+    # One declarative config describes the workload; the short and long runs
+    # differ only in their execution budget, and the policy line-up is a
+    # sweep axis.  run_config executes on the shared sweep engine, so the
+    # rows are bit-identical to the historical compare_policies loop.
+    base = ExperimentConfig.from_dict(
+        {
+            "name": "table2",
+            "code": {"name": "surface", "distance": 7},
+            "noise": {"preset": "paper", "p": 1e-3, "leakage_ratio": 0.1},
+            "execution": {"shots": shots, "rounds": short_rounds, "seed": 2,
+                          "decoded": False},
+        }
+    )
+    axes = {"policy.name": list(POLICIES)}
 
     def workload():
-        short = compare_policies(
-            code, noise, list(POLICIES), shots=shots, rounds=short_rounds, seed=2
-        )
-        long = compare_policies(
-            code, noise, list(POLICIES), shots=max(50, shots // 2), rounds=long_rounds, seed=2
+        short = run_config(base, axes)
+        long = run_config(
+            base.override("execution.shots", max(50, shots // 2)).override(
+                "execution.rounds", long_rounds
+            ),
+            axes,
         )
         return short, long
 

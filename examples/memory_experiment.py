@@ -1,9 +1,10 @@
 """Decoded memory experiment: logical error rate with and without mitigation.
 
 Runs memory-Z experiments on the distance-3 and distance-5 surface codes
-under a leakage-heavy noise profile, decodes them with the matching decoder,
-and reports how unmitigated leakage inflates the logical error rate while
-speculative LRC insertion keeps it in check.
+under a leakage-heavy noise profile through the :class:`repro.Session`
+facade: the whole (distance x policy) grid is one ``Session.sweep`` call
+over a single base :class:`repro.ExperimentConfig`, executed on the shared
+sweep engine (honouring ``REPRO_WORKERS`` / ``REPRO_CACHE``).
 
 Run with::
 
@@ -15,33 +16,40 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import MemoryExperiment, make_policy, paper_noise, surface_code
+from repro import ExperimentConfig, Session
 from repro.io import format_table
 
 
 def main() -> None:
-    noise = paper_noise(p=1.5e-3, leakage_ratio=1.0)
+    base = ExperimentConfig.from_dict(
+        {
+            "name": "memory_experiment",
+            "code": {"name": "surface"},
+            "noise": {"preset": "paper", "p": 1.5e-3, "leakage_ratio": 1.0},
+            "decoder": {"name": "matching"},
+            "execution": {"shots": 400, "rounds": 12, "seed": 11},
+        }
+    )
     rows = []
     for distance in (3, 5):
-        code = surface_code(distance)
-        for policy_name in ("no-lrc", "always-lrc", "gladiator+m"):
-            experiment = MemoryExperiment(
-                code=code,
-                noise=noise,
-                policy=make_policy(policy_name),
-                decoder_method="matching",
-                seed=11,
-            )
-            result = experiment.run(shots=400, rounds=4 * distance)
-            low, high = result.logical_error_rate_interval
+        # The paper runs 4d rounds per distance; rounds are part of the grid
+        # point, so sweep the policies within each distance.
+        config = base.override("code.distance", distance).override(
+            "execution.rounds", 4 * distance
+        )
+        grid = Session.from_config(config).sweep(
+            axes={"policy.name": ["no-lrc", "always-lrc", "gladiator+m"]}
+        )
+        for row in grid:
+            low, high = row["ler_low"], row["ler_high"]
             rows.append(
                 {
                     "distance": distance,
-                    "policy": result.policy_name,
-                    "logical error rate": result.logical_error_rate,
+                    "policy": row["policy"],
+                    "logical error rate": row["ler"],
                     "95% interval": f"[{low:.3f}, {high:.3f}]",
-                    "LRCs/round": result.lrcs_per_round,
-                    "mean leakage population": result.mean_dlp,
+                    "LRCs/round": row["lrcs_per_round"],
+                    "mean leakage population": row["mean_dlp"],
                 }
             )
     print(format_table(rows, title="Memory-Z experiments under leakage (p=1.5e-3, lr=1)"))

@@ -1,12 +1,16 @@
 """Quickstart: speculative leakage mitigation on a distance-5 surface code.
 
-Builds the rotated surface code, attaches the GLADIATOR+M speculator, runs a
-short leakage-aware memory simulation and prints the headline metrics next
-to the ERASER+M baseline.
+One declarative :class:`repro.ExperimentConfig` describes the workload
+(code, noise, policy, budget); a :class:`repro.Session` builds everything
+through the component registries and runs it.  Sweeping the policy is one
+``override`` per point — no simulator plumbing.
 
 Run with::
 
     python examples/quickstart.py
+
+The same config drives the CLI: save it with ``cfg.save("q.json")`` and run
+``python -m repro run --config q.json --set policy.name=eraser+m``.
 """
 
 import sys
@@ -14,30 +18,34 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro import make_policy, paper_noise, surface_code
+from repro import ExperimentConfig, Session
 from repro.io import format_table
-from repro.sim import LeakageSimulator, SimulatorOptions
 
 
 def main() -> None:
-    code = surface_code(5)
-    noise = paper_noise(p=1e-3, leakage_ratio=0.1)
-    print(code.describe())
-    print(f"noise: {noise.describe()}")
+    base = ExperimentConfig.from_dict(
+        {
+            "name": "quickstart",
+            "code": {"name": "surface", "distance": 5},
+            "noise": {"preset": "paper", "p": 1e-3, "leakage_ratio": 0.1},
+            "execution": {
+                "shots": 400,
+                "rounds": 50,
+                "seed": 7,
+                "decoded": False,  # leakage-population study, no decoder
+                "leakage_sampling": True,
+            },
+        }
+    )
+    session = Session.from_config(base)
+    print(session.code.describe())
+    print(f"noise: {session.noise.describe()}")
     print()
 
     rows = []
     for policy_name in ("eraser+m", "gladiator+m", "gladiator-d+m", "ideal"):
-        policy = make_policy(policy_name)
-        simulator = LeakageSimulator(
-            code=code,
-            noise=noise,
-            policy=policy,
-            options=SimulatorOptions(leakage_sampling=True),
-            seed=7,
-        )
-        result = simulator.run(shots=400, rounds=50)
-        summary = result.summary()
+        config = base.override("policy.name", policy_name)
+        summary = Session.from_config(config).run().summary()
         rows.append(
             {
                 "policy": summary["policy"],

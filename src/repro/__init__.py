@@ -10,15 +10,21 @@ and figures.
 
 Quick start::
 
-    from repro import surface_code, paper_noise, make_policy
-    from repro.sim import LeakageSimulator, SimulatorOptions
+    from repro import ExperimentConfig, Session
 
-    code = surface_code(7)
-    policy = make_policy("gladiator+m")
-    sim = LeakageSimulator(code, paper_noise(), policy,
-                           options=SimulatorOptions(leakage_sampling=True))
-    result = sim.run(shots=500, rounds=70)
+    cfg = ExperimentConfig.from_dict({
+        "code": {"name": "surface", "distance": 5},
+        "policy": {"name": "gladiator+m"},
+        "execution": {"shots": 400, "rounds": 50, "seed": 7},
+    })
+    result = Session.from_config(cfg).run()
     print(result.summary())
+
+The same config drives the other execution paths (``.stream()`` for
+windowed realtime decoding, ``.sweep(axes=...)`` for grids) and the
+``python -m repro`` CLI; the lower-level objects (``surface_code``,
+``make_policy``, ``LeakageSimulator``, ...) remain available for direct
+composition.
 """
 
 from .codes import (
@@ -59,6 +65,19 @@ from .noise import NoiseParams, ideal_noise, paper_noise
 from .realtime import DecodeService, ReplayStream, SimulatorStream, WindowedDecoder
 from .sim import LeakageSimulator, RunResult, SimulatorOptions
 from .sweeps import SweepCache, SweepExecutor, SweepSpec, WorkUnit
+from .api import (
+    CodeConfig,
+    DecoderConfig,
+    ExecutionConfig,
+    ExperimentConfig,
+    NoiseConfig,
+    PolicyConfig,
+    Session,
+    register_code,
+    register_decoder,
+    register_noise,
+    register_policy,
+)
 
 __version__ = "1.0.0"
 
@@ -112,4 +131,16 @@ __all__ = [
     "ReplayStream",
     "WindowedDecoder",
     "DecodeService",
+    # api facade
+    "ExperimentConfig",
+    "CodeConfig",
+    "NoiseConfig",
+    "PolicyConfig",
+    "DecoderConfig",
+    "ExecutionConfig",
+    "Session",
+    "register_code",
+    "register_decoder",
+    "register_policy",
+    "register_noise",
 ]

@@ -1,0 +1,79 @@
+"""Unified facade for driving the whole system.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.api.registry` — decorator-based component registries
+  (codes, decoders, policies, noise presets), the single source of truth
+  for component names.
+* :mod:`repro.api.config` — the serializable :class:`ExperimentConfig`
+  dataclass tree (``to_dict`` / ``from_dict`` / JSON round-trip) with
+  registry-backed validation and did-you-mean errors.
+* :mod:`repro.api.session` — the :class:`Session` facade:
+  ``Session.from_config(cfg).run()`` / ``.stream()`` / ``.sweep(axes=...)``
+  routes one config to the offline, windowed-realtime or sweep execution
+  paths.
+
+Everything here is also reachable from the single CLI entry point::
+
+    python -m repro list
+    python -m repro run --config experiment.json --set decoder.name=union_find
+
+Import-order note: the component-definition modules (``codes/surface.py``,
+``decoders/matching.py``, ...) import :mod:`repro.api.registry` while the
+``repro`` package is still initialising.  That is safe because every module
+here keeps its repro-internal imports lazy (inside functions): initialising
+this package pulls in nothing but the stdlib and the registry layer.
+"""
+
+from __future__ import annotations
+
+from .config import (
+    CodeConfig,
+    DecoderConfig,
+    ExecutionConfig,
+    ExperimentConfig,
+    NoiseConfig,
+    PolicyConfig,
+    config_schema,
+)
+from .registry import (
+    CODES,
+    DECODERS,
+    NOISE_PRESETS,
+    POLICIES,
+    Registry,
+    RegistryEntry,
+    UnknownNameError,
+    all_registries,
+    register_code,
+    register_decoder,
+    register_noise,
+    register_policy,
+)
+from .session import Session
+
+__all__ = [
+    # registries
+    "Registry",
+    "RegistryEntry",
+    "UnknownNameError",
+    "CODES",
+    "DECODERS",
+    "POLICIES",
+    "NOISE_PRESETS",
+    "register_code",
+    "register_decoder",
+    "register_policy",
+    "register_noise",
+    "all_registries",
+    # config tree
+    "CodeConfig",
+    "NoiseConfig",
+    "PolicyConfig",
+    "DecoderConfig",
+    "ExecutionConfig",
+    "ExperimentConfig",
+    "config_schema",
+    # session facade
+    "Session",
+]

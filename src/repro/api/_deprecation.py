@@ -1,0 +1,22 @@
+"""Process-wide once-only deprecation warnings for the legacy entry points."""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_once", "reset"]
+
+_WARNED: set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` at most once per process."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset() -> None:
+    """Forget which warnings fired (tests only)."""
+    _WARNED.clear()

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.registry import register_code
 from .base import SpeculationGroup, Stabilizer, StabilizerCode
 from .scheduling import assign_conflict_free_slots
 
@@ -66,6 +67,8 @@ def triangular_color_layout(distance: int) -> tuple[list[tuple[int, int]], list[
     return data_sites, plaquettes
 
 
+@register_code("color", default_distance=7,
+               description="Triangular 6.6.6 colour code (odd distance)")
 def color_code(distance: int) -> StabilizerCode:
     """Build the triangular 6.6.6 colour code of odd distance ``distance``."""
     data_sites, plaquettes = triangular_color_layout(distance)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.registry import register_code
 from .base import Stabilizer, StabilizerCode
 from .classical import hamming_parity_check
 from .gf2 import css_logical_operators
@@ -54,6 +55,8 @@ def hgp_code_from_checks(
     )
 
 
+@register_code("hgp", accepts_distance=False,
+               description="Hypergraph product of two Hamming [7,4,3] codes")
 def hypergraph_product_code(distance: int | None = None) -> StabilizerCode:
     """Default HGP instance: the hypergraph product of two Hamming [7,4,3] codes.
 

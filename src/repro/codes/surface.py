@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..api.registry import register_code
 from .base import Stabilizer, StabilizerCode
 
 __all__ = ["surface_code", "rotated_surface_layout"]
@@ -89,6 +90,8 @@ def _schedule_support(
     ]
 
 
+@register_code("surface", default_distance=7,
+               description="Rotated surface code (odd distance)")
 def surface_code(distance: int) -> StabilizerCode:
     """Build the rotated surface code of odd distance ``distance``."""
     if distance < 3 or distance % 2 == 0:

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api.registry import POLICIES
 from ..codes.base import StabilizerCode
 from ..noise import NoiseParams
 from .eraser import EraserMPolicy, EraserPolicy
@@ -144,19 +145,43 @@ class OraclePolicy(LeakagePolicy):
         return PolicyDecision(data_lrc=ctx.data_leaked.copy())
 
 
-POLICY_NAMES = (
-    "no-lrc",
-    "always-lrc",
-    "staggered",
-    "mlr-only",
-    "ideal",
-    "eraser",
-    "eraser+m",
-    "gladiator",
-    "gladiator+m",
-    "gladiator-d",
-    "gladiator-d+m",
-)
+# ------------------------------------------------------------------ #
+# Policy registry
+# ------------------------------------------------------------------ #
+# Open-loop and reference policies register here; the ERASER/GLADIATOR
+# closed-loop families are registered alongside so the registry is the one
+# complete listing.  ``takes_config=True`` marks the graph-model-driven
+# policies that accept the ``config=GraphModelConfig(...)`` keyword.
+POLICIES.add("no-lrc", NoLrcPolicy,
+             description="Never apply an LRC (unmitigated leakage)")
+POLICIES.add("always-lrc", AlwaysLrcPolicy, aliases=("always",),
+             description="Open-loop Always-LRC: every qubit, every round")
+POLICIES.add("staggered", StaggeredLrcPolicy,
+             description="Staggered Always-LRC: one colour group per round")
+POLICIES.add("mlr-only", MlrOnlyPolicy,
+             description="Multi-level readout on parity qubits only")
+POLICIES.add("ideal", OraclePolicy,
+             description="Oracle with perfect leakage knowledge (IDEAL)")
+POLICIES.add("eraser", EraserPolicy,
+             description="ERASER syndrome-history heuristic")
+POLICIES.add("eraser+m", EraserMPolicy,
+             description="ERASER with multi-level readout")
+POLICIES.add("gladiator", GladiatorPolicy, takes_config=True,
+             description="GLADIATOR graph-model speculation")
+POLICIES.add("gladiator+m", GladiatorMPolicy, takes_config=True,
+             description="GLADIATOR with multi-level readout")
+POLICIES.add("gladiator-d", GladiatorDPolicy, takes_config=True,
+             description="GLADIATOR-D (differential speculation)")
+POLICIES.add("gladiator-d+m", GladiatorDMPolicy, takes_config=True,
+             description="GLADIATOR-D with multi-level readout")
+
+
+#: Canonical policy names, in registration order — a snapshot of the policy
+#: registry taken at import time (so the stock listing is never hardcoded).
+#: Components registered *after* import appear in ``POLICIES.names()`` but
+#: not here; listings that must include third-party policies (the CLIs, the
+#: config validator) read the registry directly.
+POLICY_NAMES = tuple(POLICIES.names())
 
 
 def make_policy(
@@ -164,23 +189,14 @@ def make_policy(
     config: GraphModelConfig | None = None,
     **kwargs,
 ) -> LeakagePolicy:
-    """Build a policy by its canonical name (see :data:`POLICY_NAMES`)."""
-    key = name.lower().replace("_", "-")
-    gladiator_config = config or GraphModelConfig()
-    registry = {
-        "no-lrc": lambda: NoLrcPolicy(**kwargs),
-        "always-lrc": lambda: AlwaysLrcPolicy(**kwargs),
-        "always": lambda: AlwaysLrcPolicy(**kwargs),
-        "staggered": lambda: StaggeredLrcPolicy(**kwargs),
-        "mlr-only": lambda: MlrOnlyPolicy(**kwargs),
-        "ideal": lambda: OraclePolicy(**kwargs),
-        "eraser": lambda: EraserPolicy(**kwargs),
-        "eraser+m": lambda: EraserMPolicy(**kwargs),
-        "gladiator": lambda: GladiatorPolicy(config=gladiator_config, **kwargs),
-        "gladiator+m": lambda: GladiatorMPolicy(config=gladiator_config, **kwargs),
-        "gladiator-d": lambda: GladiatorDPolicy(config=gladiator_config, **kwargs),
-        "gladiator-d+m": lambda: GladiatorDMPolicy(config=gladiator_config, **kwargs),
-    }
-    if key not in registry:
-        raise ValueError(f"unknown policy {name!r}; known: {sorted(registry)}")
-    return registry[key]()
+    """Build a policy by its registered name (see :data:`POLICY_NAMES`).
+
+    A thin lookup over :data:`repro.api.registry.POLICIES`: unknown names
+    fail with a did-you-mean suggestion plus the full registered list, and
+    third-party policies registered with
+    :func:`repro.api.register_policy` are constructible here immediately.
+    """
+    entry = POLICIES.get(name)
+    if entry.metadata.get("takes_config", False):
+        return entry.obj(config=config or GraphModelConfig(), **kwargs)
+    return entry.obj(**kwargs)

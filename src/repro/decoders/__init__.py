@@ -1,5 +1,14 @@
-"""Decoders for memory experiments (MWPM and union-find)."""
+"""Decoders for memory experiments (MWPM and union-find).
 
+Decoder backends register themselves in
+:data:`repro.api.registry.DECODERS` at class-definition time;
+:func:`make_decoder` is a thin lookup over that registry, so third-party
+decoders registered with :func:`repro.api.register_decoder` are
+constructible here (and listed by ``python -m repro list``) without
+touching this module.
+"""
+
+from ..api.registry import DECODERS
 from .base import DecoderBase
 from .cache import DEFAULT_CACHE_ENTRIES, SyndromeCache
 from .detector_graph import DetectorGraph, GraphEdge
@@ -16,6 +25,7 @@ __all__ = [
     "DEFAULT_CACHE_ENTRIES",
     "STRATEGIES",
     "make_decoder",
+    "ensure_tunable",
 ]
 
 
@@ -28,12 +38,17 @@ def make_decoder(
     cache: SyndromeCache | None = None,
     cache_size: int | None = None,
 ):
-    """Factory: ``"matching"`` for MWPM, ``"union_find"`` for the UF decoder.
+    """Factory: build a registered decoder over ``graph`` by method name.
+
+    A thin lookup over :data:`repro.api.registry.DECODERS` (``"matching"``
+    for MWPM, ``"union_find"`` for the UF decoder, plus anything third
+    parties register); unknown names fail with a did-you-mean suggestion
+    and the full registered list.
 
     ``max_exact_nodes`` and ``strategy`` tune the matching decoder's
     exact-vs-greedy trade-off (see :class:`MatchingDecoder`); they are
-    rejected for decoders that have no such knob so a sweep cannot silently
-    ignore a requested configuration.
+    rejected for decoders not registered as ``tunable`` so a sweep cannot
+    silently ignore a requested configuration.
 
     ``cache`` attaches an existing :class:`SyndromeCache` (shared across
     decoders by the realtime service); ``cache_size`` instead sizes a fresh
@@ -44,18 +59,26 @@ def make_decoder(
         raise ValueError("pass either cache or cache_size, not both")
     if cache is None and cache_size is not None:
         cache = SyndromeCache(cache_size)
-    method = method.replace("-", "_")
-    if method == "matching":
-        kwargs: dict = {}
-        if max_exact_nodes is not None:
-            kwargs["max_exact_nodes"] = int(max_exact_nodes)
-        if strategy is not None:
-            kwargs["strategy"] = strategy
-        return MatchingDecoder(graph, cache=cache, **kwargs)
-    if method == "union_find":
-        if max_exact_nodes is not None or strategy is not None:
-            raise ValueError(
-                "max_exact_nodes/strategy only apply to the matching decoder"
-            )
-        return UnionFindDecoder(graph, cache=cache)
-    raise ValueError(f"unknown decoder method {method!r}")
+    entry = DECODERS.get(method)  # unknown names fail with did-you-mean help
+    kwargs: dict = {}
+    if max_exact_nodes is not None:
+        kwargs["max_exact_nodes"] = int(max_exact_nodes)
+    if strategy is not None:
+        kwargs["strategy"] = strategy
+    if kwargs:
+        ensure_tunable(entry)
+    return entry.obj(graph, cache=cache, **kwargs)
+
+
+def ensure_tunable(entry) -> None:
+    """Reject tuning knobs for a decoder not registered as ``tunable``.
+
+    Shared by :func:`make_decoder` and ``DecoderConfig.validate`` so the
+    rule and its error message have exactly one source of truth.
+    """
+    if not entry.metadata.get("tunable", False):
+        tunable = [e.name for e in DECODERS if e.metadata.get("tunable")]
+        raise ValueError(
+            f"max_exact_nodes/strategy only apply to tunable decoders "
+            f"({', '.join(tunable)}), not {entry.name!r}"
+        )

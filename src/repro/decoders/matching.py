@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
+from ..api.registry import register_decoder
 from .base import DecoderBase
 
 __all__ = ["MatchingDecoder", "STRATEGIES"]
@@ -38,6 +39,8 @@ STRATEGIES = ("auto", "exact", "greedy")
 _DP_EXACT_MAX = 8
 
 
+@register_decoder("matching", aliases=("mwpm",), tunable=True,
+                  description="Minimum-weight perfect matching (exact/greedy)")
 @dataclass
 class MatchingDecoder(DecoderBase):
     """MWPM decoder over a :class:`~repro.decoders.detector_graph.DetectorGraph`.

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..api.registry import register_decoder
 from .base import DecoderBase
 
 __all__ = ["UnionFindDecoder"]
@@ -62,6 +63,8 @@ class _DisjointSet:
         return self.parity[root] == 0 or self.touches_boundary[root]
 
 
+@register_decoder("union_find", aliases=("uf",),
+                  description="Union-find cluster-growth + peeling decoder")
 @dataclass
 class UnionFindDecoder(DecoderBase):
     """Cluster-growth + peeling decoder over a

@@ -137,6 +137,27 @@ class MemoryExperiment:
     #: the ``run`` call overrides it.
     DEFAULT_BATCH_SIZE = 250
 
+    @classmethod
+    def from_config(
+        cls,
+        config,
+        *,
+        code: StabilizerCode | None = None,
+        policy: LeakagePolicy | None = None,
+        noise: NoiseParams | None = None,
+    ) -> "MemoryExperiment":
+        """Construct from an :class:`~repro.api.config.ExperimentConfig`.
+
+        Components default to registry builds from the config's sections;
+        pass ``code`` / ``policy`` / ``noise`` to reuse objects the caller
+        already holds (the sweep shard runner does).  This is the single
+        construction path the :class:`~repro.api.session.Session` facade,
+        the sweep engine and direct callers share.
+        """
+        from ..api.session import build_experiment
+
+        return build_experiment(config, code=code, policy=policy, noise=noise)
+
     def run(self, shots: int, rounds: int, batch_size: int | None = None) -> MemoryResult:
         """Simulate ``shots`` shots (in batches) and decode every one of them."""
         if shots <= 0 or rounds <= 0:

@@ -61,7 +61,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-from ..codes import bpc_code, color_code, hypergraph_product_code, surface_code
+from ..api.registry import CODES
 from ..codes.base import StabilizerCode
 from ..core.graph_model import GraphModelConfig
 from ..noise import NoiseParams, paper_noise
@@ -123,17 +123,20 @@ def current_scale() -> ScaleConfig:
 
 
 def make_code(family: str, distance: int | None = None) -> StabilizerCode:
-    """Construct a code by family name (``surface``, ``color``, ``hgp``, ``bpc``)."""
-    family = family.lower()
-    if family == "surface":
-        return surface_code(distance or 7)
-    if family == "color":
-        return color_code(distance or 7)
-    if family == "hgp":
-        return hypergraph_product_code()
-    if family == "bpc":
-        return bpc_code()
-    raise ValueError(f"unknown code family {family!r}")
+    """Construct a code by its registered family name.
+
+    A thin lookup over :data:`repro.api.registry.CODES` — the family list,
+    per-family default distances, and the unknown-name error (with its
+    did-you-mean suggestions) all come from the registry, so they can never
+    drift from what is actually registered.  Families without a distance
+    knob ignore ``distance``, as the historical factory did.
+    """
+    entry = CODES.get(family)
+    if not entry.metadata.get("accepts_distance", True):
+        return entry.obj()
+    if distance is None:
+        distance = entry.metadata.get("default_distance")
+    return entry.obj(distance) if distance is not None else entry.obj()
 
 
 def _code_unit_fields(code: StabilizerCode) -> dict:

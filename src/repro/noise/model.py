@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..api.registry import register_noise
+
 __all__ = ["NoiseParams", "paper_noise", "ideal_noise"]
 
 
@@ -131,11 +133,22 @@ class NoiseParams:
         )
 
 
+@register_noise("paper", rate_parameters=True,
+                description="The paper's default error profile (mlr factor 10)")
 def paper_noise(p: float = 1e-3, leakage_ratio: float = 0.1) -> NoiseParams:
     """The default error profile used throughout the paper's evaluation."""
     return NoiseParams(p=p, leakage_ratio=leakage_ratio, mlr_error_factor=10.0)
 
 
+@register_noise("ideal", description="Noiseless profile (p=0, no leakage)")
 def ideal_noise() -> NoiseParams:
     """A noiseless profile, useful for testing circuit plumbing."""
     return NoiseParams(p=0.0, leakage_ratio=0.0)
+
+
+# Fully explicit parameters: every knob comes through ``NoiseConfig.overrides``
+# (the sweep engine serialises arbitrary NoiseParams this way, so any noise
+# point is expressible — and cache-keyable — as plain config data).
+register_noise("custom", description="NoiseParams built entirely from overrides")(
+    NoiseParams
+)

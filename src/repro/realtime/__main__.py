@@ -18,24 +18,33 @@ import argparse
 import sys
 import time
 
-from ..core import POLICY_NAMES, make_policy
+from ..api.registry import CODES, DECODERS, POLICIES
+from ..core import make_policy
 from ..experiments.runner import make_code
 from ..noise import paper_noise
 from .service import DecodeService
 from .stream import SimulatorStream
 
-__all__ = ["main"]
+__all__ = ["main", "run"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    # All component listings in the help text are derived from the live
+    # registries so they can never drift from what the factories accept.
     parser = argparse.ArgumentParser(
         prog="python -m repro.realtime",
         description="Decode concurrent syndrome streams with sliding windows.",
     )
-    parser.add_argument("--family", default="surface", help="code family (default: surface)")
+    parser.add_argument(
+        "--family",
+        default="surface",
+        help=f"code family, one of: {', '.join(sorted(CODES.names()))} (default: surface)",
+    )
     parser.add_argument("--distance", type=int, default=3, help="code distance (default: 3)")
     parser.add_argument(
-        "--policy", default="gladiator+m", help=f"one of: {', '.join(sorted(POLICY_NAMES))}"
+        "--policy",
+        default="gladiator+m",
+        help=f"one of: {', '.join(sorted(POLICIES.names()))}",
     )
     parser.add_argument("--streams", type=int, default=4, help="concurrent streams (default: 4)")
     parser.add_argument("--shots", type=int, default=50, help="shots per stream (default: 50)")
@@ -45,7 +54,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--commit", type=int, default=None, help="rounds committed per window (default: window/2)"
     )
     parser.add_argument(
-        "--decoder", default="matching", help="decoder method (matching or union_find)"
+        "--decoder",
+        default="matching",
+        help=f"decoder method, one of: {', '.join(sorted(DECODERS.names()))}",
     )
     parser.add_argument(
         "--max-exact-nodes", type=int, default=None, help="matching exact->greedy threshold"
@@ -75,6 +86,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from ..api._deprecation import warn_once
+
+    warn_once(
+        "python -m repro.realtime",
+        "`python -m repro.realtime` is deprecated; use `python -m repro realtime` "
+        "(same flags, plus --config/--set support)",
+    )
+    return run(argv)
+
+
+def run(argv: list[str] | None = None) -> int:
+    """CLI body, shared with the `python -m repro realtime` subcommand."""
     args = _build_parser().parse_args(argv)
     if args.streams <= 0 or args.shots <= 0 or args.rounds <= 0:
         print("error: streams, shots and rounds must be positive", file=sys.stderr)

@@ -119,6 +119,39 @@ class DecodeService:
         self.windows_decoded = 0
         self.streams_served = 0
 
+    @classmethod
+    def from_config(
+        cls,
+        config,
+        *,
+        workers: int = 4,
+        queue_depth: int | None = None,
+    ) -> "DecodeService":
+        """Build a service from an :class:`~repro.api.config.ExperimentConfig`.
+
+        The window geometry comes from ``execution.window_rounds`` /
+        ``commit_rounds`` and the decoder from the ``decoder`` section
+        (including the service-wide ``cache_size``); ``workers`` and
+        ``queue_depth`` stay call-time arguments because they describe the
+        serving deployment, not the experiment.  This is the construction
+        path :meth:`repro.api.Session.stream` uses.
+        """
+        execution = config.execution
+        if execution.window_rounds is None:
+            raise ValueError(
+                "DecodeService.from_config requires execution.window_rounds"
+            )
+        return cls(
+            window_rounds=execution.window_rounds,
+            commit_rounds=execution.commit_rounds,
+            method=config.decoder.name,
+            max_exact_nodes=config.decoder.max_exact_nodes,
+            strategy=config.decoder.strategy,
+            workers=workers,
+            queue_depth=queue_depth,
+            cache_size=config.decoder.cache_size,
+        )
+
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #

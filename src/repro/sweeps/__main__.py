@@ -26,7 +26,7 @@ from .cache import SweepCache, default_cache_dir
 from .executor import SweepExecutor, default_workers
 from .registry import SWEEP_GROUPS, build_sweep, sweep_names
 
-__all__ = ["main"]
+__all__ = ["main", "run"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,7 +63,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _print_sweep_list() -> None:
-    """List the presets grouped by subsystem (offline vs realtime)."""
+    """List the presets grouped by subsystem (offline vs realtime).
+
+    The code-family line is derived from the code registry so this listing
+    can never disagree with what :func:`repro.experiments.make_code` builds.
+    """
+    from ..api.registry import CODES
+
+    print(f"code families: {', '.join(sorted(CODES.names()))}")
     grouped = set()
     for group in sorted(SWEEP_GROUPS):
         print(f"{group}:")
@@ -78,6 +85,18 @@ def _print_sweep_list() -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from ..api._deprecation import warn_once
+
+    warn_once(
+        "python -m repro.sweeps",
+        "`python -m repro.sweeps` is deprecated; use `python -m repro sweep` "
+        "(same presets and flags, plus --config/--set support)",
+    )
+    return run(argv)
+
+
+def run(argv: list[str] | None = None) -> int:
+    """CLI body, shared with the `python -m repro sweep` subcommand."""
     args = _build_parser().parse_args(argv)
     if args.list or not args.sweep:
         _print_sweep_list()

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..api.registry import CODES
 from .units import WorkUnit, make_unit_noise
 
 __all__ = ["SweepSpec"]
@@ -28,10 +29,10 @@ class SweepSpec:
         Identifier used for result files and progress messages.
     family:
         Code family understood by :func:`repro.experiments.make_code`
-        (``surface``, ``color``, ``hgp``, ``bpc``).
+        ({code_families}).
     distances:
-        Code distances to sweep.  Families without a distance knob (``hgp``,
-        ``bpc``) should pass a single placeholder entry.
+        Code distances to sweep.  Families without a distance knob
+        ({distanceless_families}) should pass a single placeholder entry.
     error_rates / leakage_ratios:
         Physical error rates ``p`` and leakage ratios ``lr`` fed to
         :func:`repro.noise.paper_noise` (so ``p_leak = lr * p``).
@@ -104,6 +105,13 @@ class SweepSpec:
             return int(self.rounds(distance))
         return int(self.rounds)
 
+    def compile(self) -> list[WorkUnit]:
+        """Compile the grid into independent work units, in deterministic order.
+
+        (``units()`` is the historical name and remains as an alias.)
+        """
+        return self.units()
+
     def units(self) -> list[WorkUnit]:
         """Compile the grid into independent work units, in deterministic order."""
         sampling = (
@@ -159,3 +167,19 @@ class SweepSpec:
                                 )
                             )
         return compiled
+
+
+# The documented family list is derived from the code registry at import
+# time, so the docstring can never disagree with what make_code accepts.
+if SweepSpec.__doc__:  # pragma: no branch - docstrings stripped under -OO
+    SweepSpec.__doc__ = SweepSpec.__doc__.replace(
+        "{code_families}", ", ".join(f"``{name}``" for name in sorted(CODES.names()))
+    ).replace(
+        "{distanceless_families}",
+        ", ".join(
+            f"``{entry.name}``"
+            for entry in sorted(CODES, key=lambda e: e.name)
+            if not entry.metadata.get("accepts_distance", True)
+            or "default_distance" not in entry.metadata
+        ),
+    )

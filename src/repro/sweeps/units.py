@@ -32,6 +32,7 @@ from ..sim.simulator import RoundRecord, RunResult
 __all__ = [
     "WorkUnit",
     "unit_key",
+    "unit_to_config",
     "resolve_code",
     "run_unit_serial",
     "run_shard",
@@ -45,8 +46,12 @@ __all__ = [
 #: (max_exact_nodes / strategy) and realtime window configuration joined the
 #: cache key.  v3: ``decode_batch_size`` joined the key (the chunk plan
 #: determines per-chunk simulator seeds, so two batch sizes are different —
-#: equally valid — samples).
-ENGINE_VERSION = 3
+#: equally valid — samples).  v4: the key is a digest of the unit's
+#: :class:`~repro.api.config.ExperimentConfig` form (see
+#: :func:`unit_to_config`), so every construction route — legacy wrappers,
+#: ``SweepSpec`` grids, ``Session.sweep`` — keys the same simulation
+#: identically.
+ENGINE_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -131,16 +136,78 @@ def _code_fingerprint(unit: WorkUnit) -> dict[str, Any]:
     back to a digest of the full stabilizer structure otherwise, so a custom
     code can never alias a stock construction.
     """
+    from ..api.registry import CODES
+
+    family = CODES.canonical(unit.family)
     if unit.code is None:
-        return {"family": unit.family, "distance": unit.distance}
+        return {"family": family, "distance": unit.distance}
     digest = _structure_digest(unit.code)
     if digest == _reference_digest(unit.family, unit.distance):
-        return {"family": unit.family, "distance": unit.distance}
+        return {"family": family, "distance": unit.distance}
     return {"code_name": unit.code.name, "code_digest": digest}
+
+
+def unit_to_config(unit: WorkUnit, seed: int | None = None) -> "ExperimentConfig":
+    """The :class:`~repro.api.config.ExperimentConfig` form of a work unit.
+
+    The noise point is serialised through the ``custom`` preset (the full
+    :class:`~repro.noise.NoiseParams` field set as overrides) so *any* noise
+    is expressible as plain config data, and the policy name is canonicalised
+    through the registry — two spellings of the same simulation produce the
+    same config and therefore the same cache key.  Undecoded units zero out
+    the decoder section, matching the legacy key semantics (an undecoded run
+    never decodes, so decoder tuning cannot change its results).
+
+    ``seed`` substitutes the execution seed (the shard runner passes its
+    shard seed so the config it executes is exactly the config it was keyed
+    under, re-seeded).
+    """
+    from ..api.config import (
+        CodeConfig,
+        DecoderConfig,
+        ExecutionConfig,
+        ExperimentConfig,
+        NoiseConfig,
+        PolicyConfig,
+    )
+    from ..api.registry import CODES, DECODERS, POLICIES
+
+    decoded = unit.decoded
+    return ExperimentConfig(
+        name=f"unit:{unit.family}:{unit.policy}",
+        code=CodeConfig(name=CODES.canonical(unit.family), distance=unit.distance),
+        noise=NoiseConfig(preset="custom", overrides=asdict(unit.noise)),
+        policy=PolicyConfig(
+            name=POLICIES.canonical(unit.policy),
+            options=asdict(unit.policy_config) if unit.policy_config else {},
+        ),
+        decoder=DecoderConfig(
+            name=DECODERS.canonical(unit.decoder_method) if decoded else "matching",
+            max_exact_nodes=unit.decoder_max_exact_nodes if decoded else None,
+            strategy=unit.decoder_strategy if decoded else None,
+            cache_size=unit.decoder_cache_size if decoded else None,
+        ),
+        execution=ExecutionConfig(
+            shots=unit.shots,
+            rounds=unit.rounds,
+            seed=unit.seed if seed is None else seed,
+            decoded=decoded,
+            leakage_sampling=unit.leakage_sampling,
+            decode_batch_size=unit.decode_batch_size if decoded else None,
+            window_rounds=unit.window_rounds if decoded else None,
+            commit_rounds=unit.commit_rounds if decoded else None,
+        ),
+    )
 
 
 def unit_key(unit: WorkUnit, shard_sizes: tuple[int, ...] | None = None) -> str:
     """Stable hex cache key of a work unit (labels excluded — they are cosmetic).
+
+    The key digests the unit's config form (:func:`unit_to_config`, minus
+    the performance-only knobs its ``cache_payload`` drops — decoder cache
+    size and worker count never change results).  Explicit code objects
+    replace the declarative ``code`` section with a structure fingerprint so
+    a custom code can never alias a stock construction.
 
     ``shard_sizes`` is the executor's shard plan for the unit.  It is part of
     the *cache* key because the plan determines the RNG streams: a serial row
@@ -149,28 +216,11 @@ def unit_key(unit: WorkUnit, shard_sizes: tuple[int, ...] | None = None) -> str:
     (:func:`repro.sweeps.executor.shard_seeds`) uses the plan-free key, so
     shard seeds depend only on what is simulated.
     """
+    config_payload = unit_to_config(unit).cache_payload()
+    config_payload["code"] = _code_fingerprint(unit)
     payload: dict[str, Any] = {
         "engine": ENGINE_VERSION,
-        "code": _code_fingerprint(unit),
-        "noise": asdict(unit.noise),
-        "policy": unit.policy,
-        "policy_config": asdict(unit.policy_config) if unit.policy_config else None,
-        "shots": unit.shots,
-        "rounds": unit.rounds,
-        "decoded": unit.decoded,
-        "leakage_sampling": unit.leakage_sampling,
-        "decoder_method": unit.decoder_method if unit.decoded else None,
-        "decoder_tuning": (
-            [unit.decoder_max_exact_nodes, unit.decoder_strategy]
-            if unit.decoded
-            else None
-        ),
-        "window": ([unit.window_rounds, unit.commit_rounds] if unit.decoded else None),
-        # decode_batch_size changes the per-chunk RNG seeds and therefore the
-        # sample; decoder_cache_size only changes speed, so it is deliberately
-        # NOT part of the key (cached rows stay valid at any cache size).
-        "decode_batch_size": unit.decode_batch_size if unit.decoded else None,
-        "seed": unit.seed,
+        "config": config_payload,
     }
     if shard_sizes is not None and len(shard_sizes) > 1:
         # A single-shard plan is the legacy serial run regardless of pool
@@ -195,19 +245,10 @@ def run_shard(unit: WorkUnit, shots: int, seed: int) -> dict[str, Any]:
     code = resolve_code(unit)
     policy = make_policy(unit.policy, config=unit.policy_config)
     if unit.decoded:
-        experiment = MemoryExperiment(
-            code=code,
-            noise=unit.noise,
-            policy=policy,
-            decoder_method=unit.decoder_method,
-            leakage_sampling=unit.leakage_sampling,
-            seed=seed,
-            window_rounds=unit.window_rounds,
-            commit_rounds=unit.commit_rounds,
-            decoder_max_exact_nodes=unit.decoder_max_exact_nodes,
-            decoder_strategy=unit.decoder_strategy,
-            decode_batch_size=unit.decode_batch_size,
-            decoder_cache_size=unit.decoder_cache_size,
+        # Construct through the api facade: the config this shard executes is
+        # exactly the config the unit was keyed under, re-seeded for the shard.
+        experiment = MemoryExperiment.from_config(
+            unit_to_config(unit, seed=seed), code=code, policy=policy, noise=unit.noise
         )
         result = experiment.run(shots=shots, rounds=unit.rounds)
         return {

@@ -1,0 +1,254 @@
+"""Tests of the api facade: registries and the ExperimentConfig tree."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    CODES,
+    DECODERS,
+    NOISE_PRESETS,
+    POLICIES,
+    CodeConfig,
+    DecoderConfig,
+    ExecutionConfig,
+    ExperimentConfig,
+    NoiseConfig,
+    PolicyConfig,
+    Registry,
+    UnknownNameError,
+    config_schema,
+    register_policy,
+)
+from repro.api.session import build_code, build_noise, build_policy
+from repro.core import POLICY_NAMES
+from repro.core.policies import NoLrcPolicy
+from repro.noise import paper_noise
+
+
+# --------------------------------------------------------------------- #
+# Registry mechanism
+# --------------------------------------------------------------------- #
+def test_registries_cover_the_stock_components():
+    assert set(CODES.names()) == {"surface", "color", "hgp", "bpc"}
+    assert set(DECODERS.names()) == {"matching", "union_find"}
+    assert set(NOISE_PRESETS.names()) == {"paper", "ideal", "custom"}
+    assert set(POLICIES.names()) == set(POLICY_NAMES)
+
+
+def test_policy_names_is_derived_from_the_registry():
+    assert POLICY_NAMES == tuple(POLICIES.names())
+
+
+def test_aliases_resolve_to_canonical_entries():
+    assert DECODERS.get("union-find").name == "union_find"
+    assert DECODERS.get("mwpm").name == "matching"
+    assert POLICIES.get("always").name == "always-lrc"
+    assert POLICIES.get("GLADIATOR_D").name == "gladiator-d"
+
+
+def test_unknown_name_error_carries_suggestions_and_listing():
+    with pytest.raises(UnknownNameError) as excinfo:
+        DECODERS.get("union_fnd")
+    message = str(excinfo.value)
+    assert "did you mean 'union_find'" in message
+    assert "matching" in message  # the full listing rides along
+    assert isinstance(excinfo.value, ValueError)  # legacy callers catch ValueError
+
+
+def test_third_party_registration_via_decorator():
+    @register_policy("test-third-party", description="registered by a test")
+    class ThirdPartyPolicy(NoLrcPolicy):
+        name: str = "test-third-party"
+
+    try:
+        from repro.core import make_policy
+
+        assert isinstance(make_policy("test-third-party"), ThirdPartyPolicy)
+        assert "test-third-party" in POLICIES.names()
+        # Config validation accepts it immediately, with no repro changes.
+        ExperimentConfig(policy=PolicyConfig(name="test-third-party")).validate()
+    finally:
+        POLICIES.unregister("test-third-party")
+    assert "test-third-party" not in POLICIES
+
+
+def test_duplicate_registration_is_rejected():
+    registry = Registry("widget")
+    registry.add("alpha", object, aliases=("a",))
+    with pytest.raises(ValueError):
+        registry.add("alpha", object)
+    with pytest.raises(ValueError):
+        registry.add("beta", object, aliases=("a",))
+
+
+# --------------------------------------------------------------------- #
+# Config round-trip and validation
+# --------------------------------------------------------------------- #
+def _full_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        name="round-trip",
+        code=CodeConfig(name="color", distance=5),
+        noise=NoiseConfig(preset="paper", p=2e-3, leakage_ratio=1.0,
+                          overrides={"leakage_mobility": 0.2}),
+        policy=PolicyConfig(name="gladiator+m", options={"threshold": 0.05}),
+        decoder=DecoderConfig(name="matching", max_exact_nodes=10,
+                              strategy="greedy", cache_size=64),
+        execution=ExecutionConfig(shots=40, rounds=6, seed=3, decoded=True,
+                                  leakage_sampling=True, decode_batch_size=16,
+                                  window_rounds=4, commit_rounds=2, workers=2),
+    )
+
+
+def test_config_dict_and_json_round_trip_is_identity():
+    config = _full_config()
+    assert ExperimentConfig.from_dict(config.to_dict()) == config
+    assert ExperimentConfig.from_json(config.to_json()) == config
+    # and through an honest serialise/parse cycle
+    assert ExperimentConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
+
+
+def test_config_file_round_trip(tmp_path):
+    config = _full_config()
+    path = config.save(tmp_path / "cfg.json")
+    assert ExperimentConfig.load(path) == config
+
+
+def test_default_config_validates():
+    ExperimentConfig().validate()
+
+
+@pytest.mark.parametrize(
+    "path, value, fragment",
+    [
+        ("code.name", "surfac", "did you mean 'surface'"),
+        ("decoder.name", "union_fnd", "did you mean 'union_find'"),
+        ("policy.name", "gladiatr", "did you mean"),
+        ("noise.preset", "papr", "did you mean 'paper'"),
+    ],
+)
+def test_validation_rejects_unknown_names_with_suggestions(path, value, fragment):
+    config = ExperimentConfig().override(path, value)
+    with pytest.raises(ValueError, match=fragment):
+        config.validate()
+
+
+def test_from_dict_rejects_unknown_fields_with_suggestions():
+    with pytest.raises(ValueError, match="did you mean 'distance'"):
+        ExperimentConfig.from_dict({"code": {"name": "surface", "distence": 3}})
+    with pytest.raises(ValueError, match="unknown experiment config field"):
+        ExperimentConfig.from_dict({"codes": {}})
+
+
+def test_validation_rejects_bad_sections():
+    with pytest.raises(ValueError):
+        ExperimentConfig(execution=ExecutionConfig(shots=0)).validate()
+    with pytest.raises(ValueError):  # union_find has no tuning knobs
+        ExperimentConfig(
+            decoder=DecoderConfig(name="union_find", strategy="greedy")
+        ).validate()
+    with pytest.raises(ValueError):  # windows need decoding
+        ExperimentConfig(
+            execution=ExecutionConfig(decoded=False, window_rounds=4)
+        ).validate()
+    with pytest.raises(ValueError):  # options only fit graph-model policies
+        ExperimentConfig(
+            policy=PolicyConfig(name="eraser", options={"threshold": 0.1})
+        ).validate()
+    with pytest.raises(ValueError, match="did you mean"):
+        ExperimentConfig(
+            noise=NoiseConfig(overrides={"leakage_mobilty": 0.3})
+        ).validate()
+
+
+def test_validation_rejects_wrong_field_types_with_field_path():
+    with pytest.raises(ValueError, match="execution.shots must be integer"):
+        ExperimentConfig().override("execution.shots", "abc").validate()
+    with pytest.raises(ValueError, match="code.distance must be integer or null"):
+        ExperimentConfig().override("code.distance", 3.5).validate()
+    with pytest.raises(ValueError, match="execution.decoded must be boolean"):
+        ExperimentConfig().override("execution.decoded", 1).validate()
+    with pytest.raises(ValueError, match="noise.overrides must be object"):
+        ExperimentConfig().override("noise.overrides", "x").validate()
+    # bool must not sneak into integer fields (bool subclasses int)
+    with pytest.raises(ValueError, match="execution.window_rounds"):
+        ExperimentConfig().override("execution.window_rounds", True).validate()
+
+
+def test_override_dotted_paths():
+    config = ExperimentConfig()
+    assert config.override("decoder.name", "union_find").decoder.name == "union_find"
+    assert config.override("name", "renamed").name == "renamed"
+    with pytest.raises(ValueError, match="unknown"):
+        config.override("decoder.nmae", "matching")
+    with pytest.raises(ValueError):
+        config.override("nonsense.path.here", 1)
+
+
+def test_digest_and_unit_key_canonicalize_alias_spellings():
+    """mwpm/matching, always/always-lrc, Surface/surface: one cache key."""
+    from repro.api.session import workunit_from_config
+    from repro.sweeps.units import unit_key
+
+    aliased = ExperimentConfig.from_dict(
+        {"code": {"name": "Surface"}, "decoder": {"name": "mwpm"},
+         "policy": {"name": "ALWAYS"}, "execution": {"decoded": False}}
+    )
+    canonical = ExperimentConfig.from_dict(
+        {"code": {"name": "surface"}, "decoder": {"name": "matching"},
+         "policy": {"name": "always-lrc"}, "execution": {"decoded": False}}
+    )
+    assert aliased.digest() == canonical.digest()
+    assert unit_key(workunit_from_config(aliased)) == unit_key(
+        workunit_from_config(canonical)
+    )
+
+
+def test_digest_ignores_performance_only_knobs():
+    base = _full_config()
+    assert base.digest() == base.override("decoder.cache_size", 999).digest()
+    assert base.digest() == base.override("execution.workers", 16).digest()
+    assert base.digest() == base.override("name", "other").digest()
+    assert base.digest() != base.override("execution.seed", 99).digest()
+    assert base.digest() != base.override("code.distance", 3).digest()
+
+
+def test_build_helpers_construct_the_configured_components():
+    config = _full_config()
+    code = build_code(config)
+    assert code.name == "color_d5"
+    noise = build_noise(config)
+    assert noise == paper_noise(p=2e-3, leakage_ratio=1.0).with_(leakage_mobility=0.2)
+    policy = build_policy(config)
+    assert policy.describe() == "gladiator+M"
+    # custom preset reconstructs arbitrary NoiseParams exactly
+    from dataclasses import asdict
+
+    exotic = paper_noise(p=3e-3).with_(lrc_error_factor=5.0)
+    rebuilt = build_noise(NoiseConfig(preset="custom", overrides=asdict(exotic)))
+    assert rebuilt == exotic
+
+
+def test_noise_preset_without_rates_rejects_rates():
+    with pytest.raises(ValueError, match="does not take"):
+        NoiseConfig(preset="ideal", p=1e-3).validate()
+    NoiseConfig(preset="ideal").validate()
+
+
+# --------------------------------------------------------------------- #
+# JSON schema
+# --------------------------------------------------------------------- #
+def test_config_schema_shape_and_registry_enums():
+    schema = config_schema()
+    assert schema["title"] == "repro ExperimentConfig"
+    sections = schema["properties"]
+    assert set(sections) == {"name", "code", "noise", "policy", "decoder", "execution"}
+    assert sections["code"]["properties"]["name"]["enum"] == CODES.names()
+    assert sections["policy"]["properties"]["name"]["enum"] == POLICIES.names()
+    assert sections["decoder"]["properties"]["name"]["enum"] == DECODERS.names()
+    assert sections["noise"]["properties"]["preset"]["enum"] == NOISE_PRESETS.names()
+    # optional ints carry both types; defaults are stamped
+    distance = sections["code"]["properties"]["distance"]
+    assert set(distance["type"]) == {"integer", "null"}
+    assert sections["execution"]["properties"]["shots"]["default"] == 100
+    json.dumps(schema)  # fully serialisable

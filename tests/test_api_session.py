@@ -1,0 +1,204 @@
+"""Session facade tests: one config drives every path, bit-identically.
+
+The acceptance bar of the api redesign: a single ``ExperimentConfig`` JSON
+must drive an offline run, a windowed realtime run and a sweep grid point,
+each producing results bit-identical (same seeds) to the pre-redesign
+construction path (direct ``MemoryExperiment`` / ``WorkUnit`` construction).
+"""
+
+import numpy as np
+import pytest
+
+from repro import ExperimentConfig, MemoryExperiment, Session, make_code, make_policy
+from repro.noise import paper_noise
+from repro.sweeps.executor import SweepExecutor
+from repro.sweeps.units import WorkUnit, run_unit_serial, unit_key, unit_to_config
+
+SHOTS = 30
+ROUNDS = 6
+
+#: A leakage-heavy point so failures actually occur at these tiny budgets.
+BASE_CONFIG = {
+    "name": "identity-check",
+    "code": {"name": "surface", "distance": 3},
+    "noise": {"preset": "paper", "p": 3e-3, "leakage_ratio": 1.0},
+    "policy": {"name": "gladiator+m"},
+    "decoder": {"name": "matching"},
+    "execution": {"shots": SHOTS, "rounds": ROUNDS, "seed": 11},
+}
+
+
+def _config(**section_overrides) -> ExperimentConfig:
+    data = {key: dict(value) if isinstance(value, dict) else value
+            for key, value in BASE_CONFIG.items()}
+    for section, fields in section_overrides.items():
+        data.setdefault(section, {}).update(fields)
+    return ExperimentConfig.from_dict(data)
+
+
+def _legacy_experiment(config: ExperimentConfig) -> MemoryExperiment:
+    """The pre-redesign construction path, spelled out field by field."""
+    return MemoryExperiment(
+        code=make_code(config.code.name, config.code.distance),
+        noise=paper_noise(p=config.noise.p, leakage_ratio=config.noise.leakage_ratio),
+        policy=make_policy(config.policy.name),
+        decoder_method=config.decoder.name,
+        leakage_sampling=False,
+        seed=config.execution.seed,
+        window_rounds=config.execution.window_rounds,
+        commit_rounds=config.execution.commit_rounds,
+    )
+
+
+def _assert_same_result(lhs, rhs):
+    assert lhs.failures == rhs.failures
+    assert lhs.shots == rhs.shots and lhs.rounds == rhs.rounds
+    assert np.array_equal(lhs.dlp_per_round, rhs.dlp_per_round)
+    assert lhs.total_leakage_events == rhs.total_leakage_events
+    assert lhs.summary() == rhs.summary()
+
+
+@pytest.mark.parametrize("family, distance", [("surface", 3), ("color", 3)])
+@pytest.mark.parametrize("decoder", ["matching", "union_find"])
+def test_session_run_matches_direct_memory_experiment(family, distance, decoder):
+    config = _config(code={"name": family, "distance": distance},
+                     decoder={"name": decoder})
+    via_session = Session.from_config(config).run()
+    direct = _legacy_experiment(config).run(shots=SHOTS, rounds=ROUNDS)
+    _assert_same_result(via_session, direct)
+
+
+@pytest.mark.parametrize("decoder", ["matching", "union_find"])
+def test_windowed_realtime_run_from_the_same_config(decoder):
+    """Adding window_rounds to the *same* config routes through the realtime
+    path and still matches the pre-redesign windowed construction."""
+    config = _config(decoder={"name": decoder},
+                     execution={"window_rounds": 4, "commit_rounds": 2})
+    via_session = Session.from_config(config).run()
+    direct = _legacy_experiment(config).run(shots=SHOTS, rounds=ROUNDS)
+    _assert_same_result(via_session, direct)
+
+
+def test_window_covering_all_rounds_matches_offline_decode():
+    offline = Session.from_config(_config()).run()
+    windowed = Session.from_config(
+        _config(execution={"window_rounds": ROUNDS})
+    ).run()
+    assert windowed.failures == offline.failures
+
+
+def test_sweep_grid_point_matches_legacy_workunit():
+    """A Session sweep point and a hand-built WorkUnit are the same job."""
+    config = _config()
+    session = Session.from_config(config)
+    legacy_unit = WorkUnit(
+        family="surface",
+        distance=3,
+        noise=paper_noise(p=3e-3, leakage_ratio=1.0),
+        policy="gladiator+m",
+        shots=SHOTS,
+        rounds=ROUNDS,
+        decoded=True,
+        leakage_sampling=False,
+        seed=11,
+    )
+    (unit,) = session.work_units()
+    assert unit_key(unit) == unit_key(legacy_unit)
+    rows = session.sweep(executor=SweepExecutor(workers=1, cache=None))
+    legacy_row = run_unit_serial(legacy_unit)
+    assert rows == [legacy_row]
+
+
+def test_sweep_axes_label_rows_and_match_serial_runs():
+    config = _config()
+    session = Session.from_config(config)
+    rows = session.sweep(
+        axes={"code.distance": [3, 5], "policy.name": ["eraser+m", "gladiator+m"]},
+        executor=SweepExecutor(workers=1, cache=None),
+    )
+    assert len(rows) == 4
+    assert [(row["distance"], row["policy_name"]) for row in rows] == [
+        (3, "eraser+m"), (3, "gladiator+m"), (5, "eraser+m"), (5, "gladiator+m")
+    ]
+    # each grid point equals a direct serial run of its own config
+    point = _config(code={"distance": 5}, policy={"name": "eraser+m"})
+    (unit,) = Session.from_config(point).work_units()
+    direct = run_unit_serial(unit)
+    matching = [
+        r for r in rows if r["distance"] == 5 and r["policy_name"] == "eraser+m"
+    ]
+    assert matching[0]["ler"] == direct["ler"]
+
+
+def test_one_config_file_drives_all_three_paths(tmp_path):
+    """The acceptance criterion, end to end from a JSON file on disk."""
+    path = _config().save(tmp_path / "experiment.json")
+    session = Session.from_file(path)
+
+    offline = session.run()
+    direct = _legacy_experiment(ExperimentConfig.load(path)).run(
+        shots=SHOTS, rounds=ROUNDS
+    )
+    _assert_same_result(offline, direct)
+
+    windowed_session = Session.from_config(
+        ExperimentConfig.load(path).override("execution.window_rounds", ROUNDS)
+    )
+    assert windowed_session.run().failures == offline.failures
+
+    rows = session.sweep(executor=SweepExecutor(workers=1, cache=None))
+    assert rows[0]["ler"] == offline.logical_error_rate
+
+
+def test_undecoded_config_runs_the_bare_simulator():
+    from repro.sim import RunResult
+
+    config = _config(execution={"decoded": False})
+    result = Session.from_config(config).run()
+    assert isinstance(result, RunResult)
+    # undecoded path defaults leakage_sampling on (legacy convention)
+    assert config.execution.effective_leakage_sampling is True
+    assert result.summary()["policy"] == "gladiator+M"
+
+
+def test_session_stream_decodes_concurrent_streams():
+    config = _config(execution={"window_rounds": 4, "shots": 5, "rounds": 8})
+    reports = Session.from_config(config).stream(streams=2, workers=2)
+    assert len(reports) == 2
+    for report in reports:
+        assert report.shots == 5
+        assert report.failures is not None
+
+
+def test_session_stream_requires_window():
+    with pytest.raises(ValueError, match="window_rounds"):
+        Session.from_config(_config()).stream(streams=1)
+
+
+def test_unit_to_config_round_trips_through_the_key():
+    """unit -> config -> unit preserves the cache key (construction routes
+    can never fork the cache)."""
+    from repro.api.session import workunit_from_config
+
+    unit = WorkUnit(
+        family="color",
+        distance=3,
+        noise=paper_noise(p=2e-3, leakage_ratio=0.5),
+        policy="eraser+m",
+        shots=17,
+        rounds=5,
+        decoded=True,
+        leakage_sampling=False,
+        decoder_method="union_find",
+        decode_batch_size=8,
+        seed=4,
+    )
+    rebuilt = workunit_from_config(unit_to_config(unit))
+    assert unit_key(rebuilt) == unit_key(unit)
+
+
+def test_memory_experiment_from_config_matches_direct_construction():
+    config = _config()
+    from_config = MemoryExperiment.from_config(config)
+    direct = _legacy_experiment(config)
+    assert from_config.run(5, 4).summary() == direct.run(5, 4).summary()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Emit the ExperimentConfig JSON schema (CI uploads it as an artifact).
+
+The schema's component-name fields are ``enum`` lists read from the live
+registries, so any PR that adds, renames or removes a registered component
+shows up as a plain diff of the schema artifact — config drift is
+reviewable instead of silent.
+
+Usage::
+
+    PYTHONPATH=src python tools/dump_config_schema.py            # stdout
+    PYTHONPATH=src python tools/dump_config_schema.py --out schema.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.api import config_schema  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, help="write here instead of stdout")
+    args = parser.parse_args(argv)
+
+    text = json.dumps(config_schema(), indent=2, sort_keys=False) + "\n"
+    if args.out is None:
+        sys.stdout.write(text)
+    else:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text)
+        print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
