@@ -52,6 +52,20 @@ class GladiatorDPolicy(GladiatorPolicy):
                 decision.data_lrc |= ctx.mlr_neighbor
         return decision
 
+    def decide_into(
+        self,
+        ctx: SpeculationInput,
+        data_lrc: np.ndarray,
+        ancilla_lrc: np.ndarray | None = None,
+    ) -> None:
+        super().decide_into(ctx, data_lrc, ancilla_lrc)
+        if ctx.round_index == 0:
+            # Mirror :meth:`decide`: silent in the very first round, except
+            # for MLR-neighbour triggers when enabled.
+            data_lrc[:] = False
+            if ctx.mlr_neighbor is not None and self.uses_mlr and self.trigger_on_mlr_neighbor:
+                data_lrc |= ctx.mlr_neighbor
+
 
 @dataclass
 class GladiatorDMPolicy(GladiatorDPolicy):

@@ -53,6 +53,20 @@ class NoLrcPolicy(LeakagePolicy):
             data_lrc=np.zeros((shots, self.code.num_data), dtype=bool)
         )
 
+    @property
+    def emits_ancilla_lrc(self) -> bool:
+        return False
+
+    def decide_into(
+        self,
+        ctx: SpeculationInput,
+        data_lrc: np.ndarray,
+        ancilla_lrc: np.ndarray | None = None,
+    ) -> None:
+        data_lrc[:] = False
+        if ancilla_lrc is not None:  # never emitted, but honour the contract
+            ancilla_lrc[:] = False
+
 
 @dataclass
 class AlwaysLrcPolicy(LeakagePolicy):
@@ -72,6 +86,20 @@ class AlwaysLrcPolicy(LeakagePolicy):
             data_lrc=np.ones((shots, self.code.num_data), dtype=bool),
             ancilla_lrc=ancilla,
         )
+
+    @property
+    def emits_ancilla_lrc(self) -> bool:
+        return self.include_ancillas
+
+    def decide_into(
+        self,
+        ctx: SpeculationInput,
+        data_lrc: np.ndarray,
+        ancilla_lrc: np.ndarray | None = None,
+    ) -> None:
+        data_lrc[:] = True
+        if ancilla_lrc is not None:
+            ancilla_lrc[:] = True
 
 
 @dataclass
@@ -108,6 +136,21 @@ class StaggeredLrcPolicy(LeakagePolicy):
         return PolicyDecision(data_lrc=data_lrc, ancilla_lrc=ancilla_lrc)
 
     @property
+    def emits_ancilla_lrc(self) -> bool:
+        return self.include_ancillas
+
+    def decide_into(
+        self,
+        ctx: SpeculationInput,
+        data_lrc: np.ndarray,
+        ancilla_lrc: np.ndarray | None = None,
+    ) -> None:
+        group = ctx.round_index % self._num_groups
+        np.copyto(data_lrc, self._group_masks[group])
+        if ancilla_lrc is not None:
+            np.copyto(ancilla_lrc, self._ancilla_masks[group])
+
+    @property
     def num_groups(self) -> int:
         """Number of colour groups in the round-robin schedule."""
         return self._num_groups
@@ -128,6 +171,23 @@ class MlrOnlyPolicy(LeakagePolicy):
             data_lrc = ctx.mlr_neighbor.copy()
         return PolicyDecision(data_lrc=data_lrc)
 
+    @property
+    def emits_ancilla_lrc(self) -> bool:
+        return False
+
+    def decide_into(
+        self,
+        ctx: SpeculationInput,
+        data_lrc: np.ndarray,
+        ancilla_lrc: np.ndarray | None = None,
+    ) -> None:
+        if ctx.mlr_neighbor is None:
+            data_lrc[:] = False
+        else:
+            np.copyto(data_lrc, ctx.mlr_neighbor)
+        if ancilla_lrc is not None:  # never emitted, but honour the contract
+            ancilla_lrc[:] = False
+
 
 @dataclass
 class OraclePolicy(LeakagePolicy):
@@ -143,6 +203,20 @@ class OraclePolicy(LeakagePolicy):
 
     def decide(self, ctx: SpeculationInput) -> PolicyDecision:
         return PolicyDecision(data_lrc=ctx.data_leaked.copy())
+
+    @property
+    def emits_ancilla_lrc(self) -> bool:
+        return False
+
+    def decide_into(
+        self,
+        ctx: SpeculationInput,
+        data_lrc: np.ndarray,
+        ancilla_lrc: np.ndarray | None = None,
+    ) -> None:
+        np.copyto(data_lrc, ctx.data_leaked)
+        if ancilla_lrc is not None:  # never emitted, but honour the contract
+            ancilla_lrc[:] = False
 
 
 # ------------------------------------------------------------------ #

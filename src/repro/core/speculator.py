@@ -90,6 +90,49 @@ class LeakagePolicy:
         """Online stage: map one round's observations to LRC requests."""
         raise NotImplementedError
 
+    # -------------------------------------------------------------------------
+    # Buffered fast path (simulator hot loop)
+    # -------------------------------------------------------------------------
+    @property
+    def emits_ancilla_lrc(self) -> bool:
+        """Whether :meth:`decide` may request ancilla LRCs.
+
+        The simulator preallocates (or, when this is ``False``, freezes a
+        single all-zeros) ancilla-decision buffer based on this trait.  The
+        base class answers ``True`` so third-party policies that only
+        implement :meth:`decide` keep their ancilla requests; built-in
+        policies that never emit them override it to ``False``, which lets
+        the simulator skip the per-round ancilla zeros entirely.
+        """
+        return True
+
+    def decide_into(
+        self,
+        ctx: SpeculationInput,
+        data_lrc: np.ndarray,
+        ancilla_lrc: np.ndarray | None = None,
+    ) -> None:
+        """Buffered variant of :meth:`decide`: fill caller-provided arrays.
+
+        ``data_lrc`` (``(shots, num_data)`` bool) and, when the policy
+        :attr:`emits_ancilla_lrc`, ``ancilla_lrc`` (``(shots, num_ancilla)``
+        bool) are fully overwritten — never OR-accumulated — so a reused
+        buffer cannot leak one round's decision into the next.  The arrays in
+        ``ctx`` alias the simulator's round workspace and are rewritten every
+        round; policies must copy anything they retain.
+
+        The default implementation delegates to :meth:`decide` and copies,
+        so existing policies work unchanged; hot policies override this to
+        write in place.
+        """
+        decision = self.decide(ctx)
+        np.copyto(data_lrc, np.asarray(decision.data_lrc, dtype=bool))
+        if ancilla_lrc is not None:
+            if decision.ancilla_lrc is None:
+                ancilla_lrc[:] = False
+            else:
+                np.copyto(ancilla_lrc, np.asarray(decision.ancilla_lrc, dtype=bool))
+
     # Convenience for subclasses -------------------------------------------------
     @property
     def code(self) -> StabilizerCode:
@@ -135,24 +178,75 @@ class LookupPolicy(LeakagePolicy):
             qubits = np.array([qubit for qubit, _ in entries], dtype=np.int64)
             stacked = np.stack([table for _, table in entries])
             self._groups.append((qubits, stacked))
+        # Flat-table view of the same data: one 1-D gather per group via
+        # ``flat[key + qubit_offset]`` is markedly cheaper than the 2-D fancy
+        # gather on the stacked tables (simulator hot path).  When a group
+        # covers every qubit in order (uniform pattern width, the common
+        # case), the column gather/scatter disappears entirely.
+        self._flat_groups = [
+            (
+                qubits,
+                stacked.reshape(-1),
+                (np.arange(len(qubits), dtype=np.int64) * stacked.shape[1])[np.newaxis, :],
+                len(qubits) == code.num_data,
+            )
+            for qubits, stacked in self._groups
+        ]
 
     def _lookup_keys(self, ctx: SpeculationInput) -> np.ndarray:
         """Packed lookup keys per (shot, data qubit)."""
         if not self.uses_two_rounds:
             return ctx.pattern_ints
-        widths = np.asarray(self.code.pattern_widths, dtype=np.int64)
-        return ctx.pattern_ints + (ctx.prev_pattern_ints << widths[np.newaxis, :])
+        dtype = ctx.pattern_ints.dtype
+        cache = getattr(self, "_widths_rows", None)
+        if cache is None:
+            cache = {}
+            self._widths_rows = cache
+        widths = cache.get(dtype.str)
+        if widths is None:
+            widths = np.asarray(self.code.pattern_widths, dtype=dtype)[np.newaxis, :]
+            cache[dtype.str] = widths
+        return ctx.pattern_ints + (ctx.prev_pattern_ints << widths)
 
     def decide(self, ctx: SpeculationInput) -> PolicyDecision:
         keys = self._lookup_keys(ctx)
         shots = keys.shape[0]
         data_lrc = np.zeros((shots, self.code.num_data), dtype=bool)
-        for qubits, stacked in self._groups:
-            local_keys = keys[:, qubits]
-            data_lrc[:, qubits] = stacked[np.arange(len(qubits))[np.newaxis, :], local_keys]
+        self._fill_from_tables(keys, ctx, data_lrc)
+        return PolicyDecision(data_lrc=data_lrc)
+
+    @property
+    def emits_ancilla_lrc(self) -> bool:
+        """Lookup policies only ever request data-qubit LRCs."""
+        return False
+
+    def decide_into(
+        self,
+        ctx: SpeculationInput,
+        data_lrc: np.ndarray,
+        ancilla_lrc: np.ndarray | None = None,
+    ) -> None:
+        """Table lookup straight into the caller's decision buffer."""
+        self._fill_from_tables(self._lookup_keys(ctx), ctx, data_lrc)
+        if ancilla_lrc is not None:  # never emitted, but honour the contract
+            ancilla_lrc[:] = False
+
+    def _fill_from_tables(
+        self, keys: np.ndarray, ctx: SpeculationInput, data_lrc: np.ndarray
+    ) -> None:
+        """Gather the per-qubit flag tables; every column is overwritten."""
+        scratch = getattr(self, "_index_scratch", None)
+        if scratch is None or scratch.shape != keys.shape or scratch.dtype != keys.dtype:
+            scratch = np.empty(keys.shape, dtype=keys.dtype)
+            self._index_scratch = scratch
+        for qubits, flat, offsets, covers_all in self._flat_groups:
+            if covers_all:
+                np.add(keys, offsets, out=scratch)
+                np.take(flat, scratch, out=data_lrc)
+            else:
+                data_lrc[:, qubits] = np.take(flat, keys[:, qubits] + offsets)
         if self.uses_mlr and self.trigger_on_mlr_neighbor and ctx.mlr_neighbor is not None:
             data_lrc |= ctx.mlr_neighbor
-        return PolicyDecision(data_lrc=data_lrc)
 
     def flagged_fraction(self) -> dict[int, float]:
         """Fraction of patterns flagged, per pattern width (diagnostic)."""

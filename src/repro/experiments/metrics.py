@@ -41,7 +41,9 @@ def wilson_interval(failures: int, shots: int, z: float = 1.96) -> tuple[float, 
         * math.sqrt(proportion * (1 - proportion) / shots + z * z / (4 * shots * shots))
         / denominator
     )
-    return max(0.0, centre - margin), min(1.0, centre + margin)
+    # Rounding in ``centre - margin`` can land a hair above the observed
+    # proportion (e.g. 1.7e-18 for failures=0); the interval must bracket it.
+    return min(max(0.0, centre - margin), proportion), max(min(1.0, centre + margin), proportion)
 
 
 def per_round_logical_error_rate(total_ler: float, rounds: int) -> float:

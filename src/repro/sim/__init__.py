@@ -1,7 +1,8 @@
 """Leakage-aware Pauli-frame simulation of repeated QEC rounds."""
 
 from .simulator import LeakageSimulator, RoundRecord, RunResult, SimulatorOptions
-from .state import SimState
+from .state import ChannelScratch, SimState
+from .workspace import RoundWorkspace
 
 __all__ = [
     "LeakageSimulator",
@@ -9,4 +10,6 @@ __all__ = [
     "RunResult",
     "RoundRecord",
     "SimState",
+    "ChannelScratch",
+    "RoundWorkspace",
 ]

@@ -7,6 +7,16 @@ a leakage-mitigation policy decides where to insert Leakage Reduction
 Circuits.  Everything is vectorised over a batch of shots with NumPy, which
 is what makes the paper's 100d-round sweeps tractable in pure Python.
 
+The per-round hot path runs entirely inside a preallocated
+:class:`~repro.sim.workspace.RoundWorkspace`: Bernoulli draws land in pinned
+float64 buffers via ``Generator.random(out=...)`` and the Pauli/XOR algebra
+is written as in-place ufunc kernels, so a round performs no round-shaped
+allocations.  The *sequence, shapes and order* of RNG draws is a frozen
+contract — it matches the allocating baseline draw for draw, so runs are
+bit-for-bit reproducible against recorded fixtures and against the frozen
+reference implementation in ``benchmarks/bench_sim_round.py``
+(``tests/test_sim_equivalence.py`` pins this).
+
 The simulator reports the evaluation metrics of Section 7: data-leakage
 population, LRC usage, false positives/negatives, and (optionally) the full
 detector record needed to decode a memory experiment into a logical error
@@ -15,18 +25,52 @@ rate.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
+from typing import Generator as GeneratorType
 
 import numpy as np
 
 from ..circuits.lrc import LrcGadget, default_lrc
 from ..circuits.schedule import RoundSchedule
 from ..codes.base import StabilizerCode
-from ..core.speculator import LeakagePolicy, PolicyDecision, SpeculationInput
+from ..core.speculator import LeakagePolicy, SpeculationInput
 from ..noise import NoiseParams
-from .state import SimState
+from . import _ckernels
+from .draws import DrawOp, DrawPlan, make_draw_source
+from .state import ChannelScratch, SimState
+from .workspace import RoundWorkspace
 
 __all__ = ["SimulatorOptions", "RoundRecord", "RunResult", "LeakageSimulator"]
+
+#: Phase labels of the per-round breakdown (``tools/profile_sim.py``).
+PHASE_NAMES = ("noise", "cnot_layers", "measure", "speculate", "bookkeeping")
+
+
+def _pack_register(
+    pack: np.ndarray, x: np.ndarray, z: np.ndarray, leaked: np.ndarray, tmp: np.ndarray
+) -> None:
+    """Pack one register's bool planes into ``x | z<<1 | leaked<<2`` (uint8).
+
+    Bool arrays are byte-backed 0/1, so their uint8 views feed the bitwise
+    ops without any copies.
+    """
+    np.copyto(pack, x.view(np.uint8))
+    np.left_shift(z.view(np.uint8), 1, out=tmp)
+    pack |= tmp
+    np.left_shift(leaked.view(np.uint8), 2, out=tmp)
+    pack |= tmp
+
+
+def _unpack_register(
+    pack: np.ndarray, x: np.ndarray, z: np.ndarray, leaked: np.ndarray, tmp: np.ndarray
+) -> None:
+    """Split a packed uint8 plane back into the three bool arrays."""
+    np.bitwise_and(pack, 1, out=x.view(np.uint8))
+    np.right_shift(pack, 1, out=tmp)
+    np.bitwise_and(tmp, 1, out=z.view(np.uint8))
+    np.right_shift(pack, 2, out=leaked.view(np.uint8))
 
 
 @dataclass(frozen=True)
@@ -47,11 +91,18 @@ class SimulatorOptions:
         Keep a histogram of observed speculation patterns, split by whether
         the data qubit was genuinely leaked (used by the Figure 5 / Figure 8
         pattern-breakdown benchmarks).
+    rng_prefetch:
+        Draw-generation strategy (performance-only; results are bit-identical
+        either way): ``"auto"`` overlaps PCG64 generation with the Pauli
+        algebra on a worker thread for large shot batches, ``"on"``/``"off"``
+        force the choice.  The ``REPRO_SIM_PREFETCH`` environment variable
+        overrides this field.
     """
 
     leakage_sampling: bool = False
     record_detectors: bool = False
     record_patterns: bool = False
+    rng_prefetch: str = "auto"
 
 
 @dataclass
@@ -133,8 +184,13 @@ class RunResult:
         """Combined FP + FN rate per round per shot (Table 4)."""
         return self.false_positives_per_round + self.false_negatives_per_round
 
-    def summary(self) -> dict[str, float]:
-        """Flat dictionary of headline metrics, convenient for tables."""
+    def summary(self) -> dict[str, float | int | str]:
+        """Flat dictionary of headline metrics, convenient for tables.
+
+        Values mix types: ``policy`` is the policy's display name, ``shots``
+        / ``rounds`` / ``total_leakage_events`` are exact integer counts, and
+        the remaining metrics are per-round floats.
+        """
         return {
             "policy": self.policy_name,
             "shots": self.shots,
@@ -170,6 +226,11 @@ class LeakageSimulator:
         self.schedule = RoundSchedule(code)
         self.schedule.validate()
         self.policy.prepare(code, noise)
+        # Run-constant gadget rates, hoisted out of the round loop.
+        self._lrc_gate_error = self.gadget.gate_error(noise)
+        self._lrc_induced_leak = self.gadget.induced_leakage(noise)
+        self._phase_ns: dict[str, int] | None = None
+        self._use_ckernels = _ckernels.available()
         self._build_gather_structures()
 
     # ------------------------------------------------------------------ #
@@ -190,6 +251,13 @@ class LeakageSimulator:
         self._z_stab_indices = np.array(
             [s.index for s in code.stabilizers if s.basis == "Z"], dtype=np.int64
         )
+        self._x_stab_indices = np.nonzero(~self._anc_is_z)[0]
+        # Per-ancilla bit shift selecting the measured plane from the packed
+        # uint8 representation: bit 0 (X frame) for Z-type checks, bit 1
+        # (Z frame) for X-type checks.
+        self._measure_shift_row = np.where(self._anc_is_z, 0, 1).astype(np.uint8)[
+            np.newaxis, :
+        ]
         # Speculation-pattern gather structure: for every bit position and
         # group size, the data qubits having such a group and the ancillas in it.
         self._max_width = max(code.pattern_widths)
@@ -204,6 +272,45 @@ class LeakageSimulator:
             self._pattern_gather.append(
                 (position, np.array(qubits, dtype=np.int64), np.array(stab_groups, dtype=np.int64))
             )
+        # GEMM formulation of the pattern extraction: one float32 matmul
+        # counts the flipped members of every (qubit, position) group, a
+        # threshold turns counts into OR flags, and a second matmul places
+        # ``2**position`` weights per qubit.  When every group has a single
+        # member (surface codes) the two matrices collapse into one and the
+        # threshold disappears.  float32 is exact here: counts are bounded by
+        # the stabilizer degree and weights by ``2**max_width`` (both far
+        # below 2**24).
+        if self._max_width > 20:  # pragma: no cover - no such code family yet
+            raise NotImplementedError(
+                "pattern widths above 20 bits would overflow the float32 "
+                "pattern-extraction GEMM"
+            )
+        num_groups = sum(len(groups) for groups in code.speculation_groups)
+        members = np.zeros((code.num_ancilla, num_groups), dtype=np.float32)
+        weights = np.zeros((num_groups, code.num_data), dtype=np.float32)
+        column = 0
+        single_member = True
+        for qubit, groups in enumerate(code.speculation_groups):
+            for position, group in enumerate(groups):
+                for stab in group.stabilizers:
+                    members[stab, column] = 1.0
+                weights[column, qubit] = float(1 << position)
+                single_member &= len(group.stabilizers) == 1
+                column += 1
+        self._pattern_num_groups = num_groups
+        self._pattern_single_member = single_member
+        # int32 pattern buffers halve the lookup-gather traffic; two-round
+        # policies key on ``pattern + (prev << width)`` so int32 is safe while
+        # 2*width+1 fits in 31 bits (true for every supported code family).
+        self._pattern_dtype = np.int32 if 2 * self._max_width + 1 < 31 else np.int64
+        if single_member:
+            self._pattern_matrix = members @ weights
+            self._pattern_members = None
+            self._pattern_weights = None
+        else:
+            self._pattern_matrix = None
+            self._pattern_members = members
+            self._pattern_weights = weights
         # Adjacent-ancilla structure for MLR neighbour flags.
         neighbor_lists = [
             np.array([stab for stab, _ in code.data_adjacency[q]], dtype=np.int64)
@@ -217,9 +324,121 @@ class LeakageSimulator:
             (np.array(qubits, dtype=np.int64), np.stack(ancilla_rows))
             for qubits, ancilla_rows in by_count.values()
         ]
+        # Data qubits grouped by pattern width, in ascending width order
+        # (np.unique order), for the bincount pattern accounting.
+        widths = np.asarray(code.pattern_widths)
+        self._width_groups = [
+            (int(width), np.nonzero(widths == width)[0]) for width in np.unique(widths)
+        ]
         # Z-stabilizer support matrix for the final data-readout detectors.
         self._z_support = code.parity_check_z.astype(bool)
+        self._z_support_t_u8 = self._z_support.T.astype(np.uint8)
         self._logical_z_support = code.logical_z.astype(bool)
+
+    def _make_workspace(self, shots: int) -> RoundWorkspace:
+        """Allocate the per-run workspace matching this code/schedule/policy."""
+        return RoundWorkspace(
+            shots=shots,
+            num_data=self.code.num_data,
+            num_ancilla=self.code.num_ancilla,
+            layer_is_z=self._slot_is_z,
+            num_pattern_groups=self._pattern_num_groups,
+            pattern_needs_threshold=not self._pattern_single_member,
+            pattern_dtype=self._pattern_dtype,
+            uses_mlr=self.policy.uses_mlr,
+            emits_ancilla_lrc=self.policy.emits_ancilla_lrc,
+        )
+
+    def _build_draw_plan(self, shots: int) -> DrawPlan:
+        """Declare the run's per-round RNG schedule (the frozen contract).
+
+        Every entry mirrors one ``Generator`` call of the baseline
+        implementation, in baseline order; conditional channels that the
+        baseline skips entirely (``p <= 0`` guards) are omitted, while
+        unconditional draws with degenerate probabilities stay in the plan
+        and are satisfied by ``BitGenerator.advance`` plus a constant mask.
+        """
+        noise, gadget = self.noise, self.gadget
+        plan = DrawPlan()
+        data = plan.shape_id((shots, self.code.num_data))
+        anc = plan.shape_id((shots, self.code.num_ancilla))
+
+        def lrc_segment(shape_id: int, with_flips: bool) -> list[DrawOp]:
+            ops = [DrawOp("bern", shape_id, threshold=gadget.removal_prob)]
+            if with_flips:
+                # Only data qubits randomise their frame on return from the
+                # leaked subspace; ancillas are reset right afterwards, so
+                # the baseline never drew these for them.
+                ops.append(DrawOp("bern", shape_id, threshold=0.5))
+                ops.append(DrawOp("bern", shape_id, threshold=0.5))
+            ops.extend(
+                (
+                    DrawOp("bern", shape_id, threshold=self._lrc_gate_error),
+                    DrawOp("randint", shape_id, low=0, high=3),
+                    DrawOp("bern", shape_id, threshold=self._lrc_induced_leak),
+                )
+            )
+            return ops
+
+        plan.lrc_data = lrc_segment(data, with_flips=True)
+        plan.lrc_anc = lrc_segment(anc, with_flips=False)
+
+        body: list[DrawOp] = []
+        if noise.p > 0:  # depolarize_data
+            body.append(DrawOp("bern", data, threshold=noise.p))
+            body.append(DrawOp("randint", data, low=0, high=3))
+        if noise.p_leak > 0:  # inject_data_leakage
+            body.append(DrawOp("bern", data, threshold=noise.p_leak))
+        if noise.p > 0:  # reset_ancillas flips
+            body.append(DrawOp("bern", anc, threshold=noise.p))
+            body.append(DrawOp("bern", anc, threshold=noise.p))
+        if noise.ancilla_reset_removes_leakage > 0:
+            body.append(
+                DrawOp("bern", anc, threshold=noise.ancilla_reset_removes_leakage)
+            )
+        if noise.p_leak > 0:  # inject_ancilla_leakage
+            body.append(DrawOp("bern", anc, threshold=noise.p_leak))
+        for anc_idx in self._slot_anc:  # entangling layers
+            if not len(anc_idx):
+                continue
+            layer = plan.shape_id((shots, len(anc_idx)))
+            body.append(DrawOp("bern", layer, threshold=noise.leakage_mobility))
+            body.extend(DrawOp("bern", layer, threshold=0.5) for _ in range(4))
+            body.append(DrawOp("bern", layer, threshold=noise.p))
+            body.append(DrawOp("randint", layer, low=1, high=16))
+            body.append(DrawOp("bern", layer, threshold=noise.p_leak))
+            body.append(DrawOp("bern", layer, threshold=noise.p_leak))
+        body.append(DrawOp("bern", anc, threshold=noise.p))  # measurement flip
+        if noise.readout_leak_random:
+            body.append(DrawOp("bern", anc, threshold=0.5))
+        if self.policy.uses_mlr:
+            body.append(DrawOp("bern", anc, threshold=noise.mlr_error))
+            body.append(DrawOp("bern", anc, threshold=noise.p))
+        plan.body = body
+
+        final = [DrawOp("bern", data, threshold=noise.p)]
+        if noise.readout_leak_random:
+            final.append(DrawOp("bern", data, threshold=0.5))
+        plan.final = final
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # Phase instrumentation (tools/profile_sim.py)
+    # ------------------------------------------------------------------ #
+    def enable_phase_timing(self) -> dict[str, int]:
+        """Accumulate per-phase wall-clock (ns) across subsequent rounds.
+
+        Returns the live accumulator dict (phase name -> total ns); it is
+        also readable through :meth:`phase_times`.  Timing adds two
+        ``perf_counter_ns`` calls per phase per round; leave it disabled for
+        production sweeps.
+        """
+        self._phase_ns = {name: 0 for name in PHASE_NAMES}
+        return self._phase_ns
+
+    def phase_times(self) -> dict[str, int] | None:
+        """Per-phase accumulated nanoseconds, or ``None`` when disabled."""
+        return self._phase_ns
 
     # ------------------------------------------------------------------ #
     # Main entry points
@@ -227,24 +446,32 @@ class LeakageSimulator:
     def run(self, shots: int, rounds: int) -> RunResult:
         """Simulate ``rounds`` QEC rounds for a batch of ``shots`` shots."""
         stream = self.run_incremental(shots, rounds)
-        while True:
-            try:
+        try:
+            while True:
                 next(stream)
-            except StopIteration as stop:
-                return stop.value
+        except StopIteration as stop:
+            if stop.value is None:  # pragma: no cover - generator contract
+                raise RuntimeError(
+                    "run_incremental exhausted without producing a RunResult"
+                ) from None
+            return stop.value
 
-    def run_incremental(self, shots: int, rounds: int):
+    def run_incremental(
+        self, shots: int, rounds: int
+    ) -> GeneratorType[tuple[int, np.ndarray], None, RunResult]:
         """Generator variant of :meth:`run` for online (streaming) consumers.
 
         Yields one ``(round_index, z_detectors)`` pair after every QEC round,
         where ``z_detectors`` is the ``(shots, num_z_stabs)`` boolean array of
         this round's Z-detector flips — the exact per-round chunk the
-        :mod:`repro.realtime` streaming pipeline consumes.  The generator's
-        ``StopIteration`` value is the full :class:`RunResult` (drive it with
-        ``next`` inside ``try``/``except`` or through
-        :class:`repro.realtime.SimulatorStream`).  :meth:`run` is implemented
-        on top of this generator, so both paths execute the identical
-        sequence of RNG draws and are bit-for-bit interchangeable.
+        :mod:`repro.realtime` streaming pipeline consumes.  Each yielded
+        array is freshly allocated (not a workspace view), so consumers may
+        retain it across rounds.  The generator's ``StopIteration`` value is
+        the full :class:`RunResult` (drive it with ``next`` inside
+        ``try``/``except`` or through :class:`repro.realtime.SimulatorStream`).
+        :meth:`run` is implemented on top of this generator, so both paths
+        execute the identical sequence of RNG draws and are bit-for-bit
+        interchangeable.
         """
         if shots <= 0 or rounds <= 0:
             raise ValueError("shots and rounds must be positive")
@@ -254,9 +481,11 @@ class LeakageSimulator:
             seeded = rng.integers(0, code.num_data, size=shots)
             state.data_leaked[np.arange(shots), seeded] = True
 
-        pending_lrc = np.zeros((shots, code.num_data), dtype=bool)
-        pending_anc_lrc = np.zeros((shots, code.num_ancilla), dtype=bool)
-        prev_pattern_ints = np.zeros((shots, code.num_data), dtype=np.int64)
+        ws = self._make_workspace(shots)
+        prefetch = os.environ.get("REPRO_SIM_PREFETCH", "") or self.options.rng_prefetch
+        source = make_draw_source(
+            rng, self._build_draw_plan(shots), rounds, shots, prefetch
+        )
         detector_history = (
             np.zeros((shots, rounds, len(self._z_stab_indices)), dtype=bool)
             if self.options.record_detectors
@@ -267,27 +496,19 @@ class LeakageSimulator:
         round_records: list[RoundRecord] = []
         totals = {"lrc": 0, "anc_lrc": 0, "fp": 0, "fn": 0, "tp": 0, "leak_events": 0}
 
-        for round_index in range(rounds):
-            (
-                record,
-                pending_lrc,
-                pending_anc_lrc,
-                prev_pattern_ints,
-                z_detectors,
-            ) = self._run_round(
-                state,
-                round_index,
-                pending_lrc,
-                pending_anc_lrc,
-                prev_pattern_ints,
-                totals,
-                detector_history,
-                pattern_histogram,
-            )
-            round_records.append(record)
-            yield round_index, z_detectors
+        try:
+            for round_index in range(rounds):
+                record, z_detectors = self._run_round(
+                    state, round_index, ws, source, totals, detector_history,
+                    pattern_histogram,
+                )
+                round_records.append(record)
+                yield round_index, z_detectors
 
-        final_detectors, observable_flips = self._final_readout(state)
+            source.start_final()
+            final_detectors, observable_flips = self._final_readout(state, ws, source)
+        finally:
+            source.close()
 
         return RunResult(
             code_name=code.name,
@@ -310,266 +531,451 @@ class LeakageSimulator:
         )
 
     # ------------------------------------------------------------------ #
-    # One QEC round
+    # One QEC round (workspace-resident, allocation-free)
     # ------------------------------------------------------------------ #
     def _run_round(
         self,
         state: SimState,
         round_index: int,
-        pending_lrc: np.ndarray,
-        pending_anc_lrc: np.ndarray,
-        prev_pattern_ints: np.ndarray,
+        ws: RoundWorkspace,
+        source,
         totals: dict[str, int],
         detector_history: np.ndarray | None,
-        pattern_histogram: dict,
-    ) -> tuple[RoundRecord, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        noise, rng = self.noise, self.rng
+        pattern_histogram: dict[int, dict[int, tuple[int, int]]],
+    ) -> tuple[RoundRecord, np.ndarray]:
+        noise = self.noise
         shots = state.shots
+        timing = self._phase_ns
+        tick = time.perf_counter_ns() if timing is not None else 0
 
-        # 1. Apply the LRCs scheduled by last round's decision.
-        lrcs_this_round = int(pending_lrc.sum())
-        anc_lrcs_this_round = int(pending_anc_lrc.sum())
+        # 1. Apply the LRCs scheduled by last round's decision.  ``ws.data_lrc``
+        #    / ``ws.anc_lrc`` still hold that decision; they are fully consumed
+        #    here, freeing the buffers for this round's decision in phase 6.
+        #    The two any-flags gate the conditional draw segments — posting
+        #    them first lets the prefetch worker start on this round.
+        lrcs_this_round = int(np.count_nonzero(ws.data_lrc))
+        anc_lrcs_this_round = int(np.count_nonzero(ws.anc_lrc))
+        source.start_round(bool(lrcs_this_round), bool(anc_lrcs_this_round))
         totals["lrc"] += lrcs_this_round
         totals["anc_lrc"] += anc_lrcs_this_round
-        self._apply_data_lrc(state, pending_lrc, totals)
-        self._apply_ancilla_lrc(state, pending_anc_lrc, totals)
+        if lrcs_this_round:
+            self._apply_lrc(
+                ws.data_lrc, state.data_leaked, state.data_x, state.data_z,
+                ws.data, source, totals, return_flips=True,
+            )
+        if anc_lrcs_this_round:
+            self._apply_lrc(
+                ws.anc_lrc, state.anc_leaked, state.anc_x, state.anc_z,
+                ws.anc, source, totals, return_flips=False,
+            )
 
         # 2. Start-of-round data noise: depolarisation plus environment leakage.
-        state.depolarize_data(noise.p, rng)
-        new_leak = state.inject_data_leakage(noise.p_leak, rng)
-        totals["leak_events"] += int(new_leak.sum())
+        state.depolarize_data(noise.p, source=source, scratch=ws.data)
+        totals["leak_events"] += state.inject_data_leakage(
+            noise.p_leak, source=source, scratch=ws.data
+        )
 
         # 3. Ancilla reset (clears most parity-qubit leakage; data-qubit
         #    leakage has no such escape hatch).
-        state.reset_ancillas(noise.p, rng, noise.ancilla_reset_removes_leakage)
-        new_anc_leak = state.inject_ancilla_leakage(noise.p_leak, rng)
-        totals["leak_events"] += int(new_anc_leak.sum())
+        state.reset_ancillas(
+            noise.p,
+            leakage_removal_probability=noise.ancilla_reset_removes_leakage,
+            source=source,
+            scratch=ws.anc,
+        )
+        totals["leak_events"] += state.inject_ancilla_leakage(
+            noise.p_leak, source=source, scratch=ws.anc
+        )
+        if timing is not None:
+            now = time.perf_counter_ns()
+            timing["noise"] += now - tick
+            tick = now
 
-        # 4. Entangling layers.
-        for anc_idx, data_idx, is_z in zip(self._slot_anc, self._slot_data, self._slot_is_z):
-            totals["leak_events"] += self._apply_cnot_layer(state, anc_idx, data_idx, is_z)
+        # 4. Entangling layers, executed on packed uint8 planes
+        #    (x | z<<1 | leaked<<2): one gather/scatter per register per
+        #    layer instead of six.  The boolean state is repacked before and
+        #    unpacked after, so every other phase sees plain bool arrays.
+        _pack_register(ws.data_pack, state.data_x, state.data_z, state.data_leaked, ws.data_u8)
+        _pack_register(ws.anc_pack, state.anc_x, state.anc_z, state.anc_leaked, ws.anc_u8)
+        for layer_index in range(len(self._slot_anc)):
+            totals["leak_events"] += self._apply_cnot_layer(layer_index, ws, source)
+        _unpack_register(ws.data_pack, state.data_x, state.data_z, state.data_leaked, ws.data_u8)
+        _unpack_register(ws.anc_pack, state.anc_x, state.anc_z, state.anc_leaked, ws.anc_u8)
+        if timing is not None:
+            now = time.perf_counter_ns()
+            timing["cnot_layers"] += now - tick
+            tick = now
 
         # 5. Measurement, MLR, detectors.
-        measurement, mlr_flags = self._measure(state)
-        detectors = measurement ^ state.prev_measurement
+        self._measure(state, ws, source)
+        np.logical_xor(ws.measurement, state.prev_measurement, out=ws.detectors)
         if round_index == 0:
             # X-stabilizer outcomes are intrinsically random in the first
             # round of a memory-Z experiment; their first detector is defined
             # only from round 1 onwards.
-            detectors[:, ~self._anc_is_z] = False
-        state.prev_measurement = measurement
-        z_detectors = detectors[:, self._z_stab_indices]
+            ws.detectors[:, self._x_stab_indices] = False
+        # Reference-swap instead of copying: ``prev_measurement`` now points
+        # at this round's outcomes, and the retired buffer becomes next
+        # round's measurement landing zone.
+        state.prev_measurement, ws.measurement = ws.measurement, state.prev_measurement
+        z_detectors = ws.detectors[:, self._z_stab_indices]
         if detector_history is not None:
             detector_history[:, round_index, :] = z_detectors
+        if timing is not None:
+            now = time.perf_counter_ns()
+            timing["measure"] += now - tick
+            tick = now
 
-        # 6. Speculation.
-        pattern_ints = self._extract_patterns(detectors)
-        mlr_neighbor = self._mlr_neighbor(mlr_flags) if mlr_flags is not None else None
+        # 6. Speculation.  ``pattern_a`` receives this round's patterns while
+        #    ``pattern_b`` still holds the previous round's (two-round
+        #    policies read both); the buffers swap at the end of the round.
+        self._extract_patterns(ws.detectors, ws.pattern_a, ws)
+        if ws.mlr_flags is not None and ws.mlr_neighbor is not None:
+            self._mlr_neighbor(ws.mlr_flags, ws.mlr_neighbor, ws)
         ctx = SpeculationInput(
             round_index=round_index,
-            pattern_ints=pattern_ints,
-            prev_pattern_ints=prev_pattern_ints,
-            detectors=detectors,
-            mlr_flags=mlr_flags,
-            mlr_neighbor=mlr_neighbor,
+            pattern_ints=ws.pattern_a,
+            prev_pattern_ints=ws.pattern_b,
+            detectors=ws.detectors,
+            mlr_flags=ws.mlr_flags,
+            mlr_neighbor=ws.mlr_neighbor,
             data_leaked=state.data_leaked,
         )
-        decision = self.policy.decide(ctx)
-        next_lrc = np.asarray(decision.data_lrc, dtype=bool)
-        next_anc_lrc = (
-            np.asarray(decision.ancilla_lrc, dtype=bool)
-            if decision.ancilla_lrc is not None
-            else np.zeros((shots, self.code.num_ancilla), dtype=bool)
+        self.policy.decide_into(
+            ctx, ws.data_lrc, ws.anc_lrc if ws.emits_ancilla_lrc else None
         )
+        if timing is not None:
+            now = time.perf_counter_ns()
+            timing["speculate"] += now - tick
+            tick = now
 
         # 7. Accuracy accounting at decision time.
-        false_positive = next_lrc & ~state.data_leaked
-        false_negative = state.data_leaked & ~next_lrc
-        true_positive = next_lrc & state.data_leaked
-        totals["fp"] += int(false_positive.sum())
-        totals["fn"] += int(false_negative.sum())
-        totals["tp"] += int(true_positive.sum())
+        data = ws.data
+        lrc_u8 = ws.data_lrc.view(np.uint8)
+        leaked_u8 = state.data_leaked.view(np.uint8)
+        np.bitwise_xor(leaked_u8, 1, out=data.t1)
+        np.bitwise_and(lrc_u8, data.t1, out=data.t2)
+        false_positives = int(np.count_nonzero(data.t2))
+        np.bitwise_xor(lrc_u8, 1, out=data.t1)
+        np.bitwise_and(leaked_u8, data.t1, out=data.t2)
+        false_negatives = int(np.count_nonzero(data.t2))
+        np.bitwise_and(lrc_u8, leaked_u8, out=data.t2)
+        true_positives = int(np.count_nonzero(data.t2))
+        totals["fp"] += false_positives
+        totals["fn"] += false_negatives
+        totals["tp"] += true_positives
 
         if self.options.record_patterns:
-            self._record_patterns(pattern_ints, state.data_leaked, pattern_histogram)
+            self._record_patterns(ws.pattern_a, state.data_leaked, pattern_histogram)
 
         record = RoundRecord(
             round_index=round_index,
             data_leakage_population=state.leaked_fraction(),
             ancilla_leakage_population=float(state.anc_leaked.mean()),
             lrcs_applied=lrcs_this_round / shots,
-            false_positives=float(false_positive.sum()) / shots,
-            false_negatives=float(false_negative.sum()) / shots,
-            true_positives=float(true_positive.sum()) / shots,
+            false_positives=false_positives / shots,
+            false_negatives=false_negatives / shots,
+            true_positives=true_positives / shots,
         )
-        return record, next_lrc, next_anc_lrc, pattern_ints, z_detectors
+        ws.pattern_a, ws.pattern_b = ws.pattern_b, ws.pattern_a
+        if timing is not None:
+            timing["bookkeeping"] += time.perf_counter_ns() - tick
+        return record, z_detectors
 
     # ------------------------------------------------------------------ #
     # Physical processes
     # ------------------------------------------------------------------ #
-    def _apply_data_lrc(self, state: SimState, mask: np.ndarray, totals: dict[str, int]) -> None:
-        """Apply LRC gadgets to the masked data qubits."""
-        if not mask.any():
-            return
-        noise, rng = self.noise, self.rng
-        removed = mask & state.data_leaked & (
-            rng.random(mask.shape) < self.gadget.removal_prob
-        )
-        state.data_leaked &= ~removed
-        # A returned qubit re-enters the computational subspace in a random
-        # state: model as a 50/50 X flip plus full dephasing.
-        state.data_x ^= removed & (rng.random(mask.shape) < 0.5)
-        state.data_z ^= removed & (rng.random(mask.shape) < 0.5)
-        # Gadget noise on every treated qubit (leaked or not).
-        gate_error = self.gadget.gate_error(noise)
-        hit = mask & (rng.random(mask.shape) < gate_error)
-        pauli = rng.integers(0, 3, size=mask.shape)
-        state.data_x ^= hit & (pauli != 2)
-        state.data_z ^= hit & (pauli != 0)
-        induced = mask & (rng.random(mask.shape) < self.gadget.induced_leakage(noise))
-        new_leak = induced & ~state.data_leaked
-        state.data_leaked |= new_leak
-        totals["leak_events"] += int(new_leak.sum())
-
-    def _apply_ancilla_lrc(self, state: SimState, mask: np.ndarray, totals: dict[str, int]) -> None:
-        """Apply LRC gadgets to the masked ancilla qubits."""
-        if not mask.any():
-            return
-        noise, rng = self.noise, self.rng
-        removed = mask & state.anc_leaked & (
-            rng.random(mask.shape) < self.gadget.removal_prob
-        )
-        state.anc_leaked &= ~removed
-        gate_error = self.gadget.gate_error(noise)
-        hit = mask & (rng.random(mask.shape) < gate_error)
-        pauli = rng.integers(0, 3, size=mask.shape)
-        state.anc_x ^= hit & (pauli != 2)
-        state.anc_z ^= hit & (pauli != 0)
-        induced = mask & (rng.random(mask.shape) < self.gadget.induced_leakage(noise))
-        new_leak = induced & ~state.anc_leaked
-        state.anc_leaked |= new_leak
-        totals["leak_events"] += int(new_leak.sum())
-
-    def _apply_cnot_layer(
+    def _apply_lrc(
         self,
-        state: SimState,
-        anc_idx: np.ndarray,
-        data_idx: np.ndarray,
-        is_z: np.ndarray,
-    ) -> int:
-        """Execute one entangling layer; return the number of new leakage events."""
-        noise, rng = self.noise, self.rng
-        shots = state.shots
-        gates = anc_idx.shape[0]
-        shape = (shots, gates)
+        mask: np.ndarray,
+        leaked: np.ndarray,
+        frame_x: np.ndarray,
+        frame_z: np.ndarray,
+        scratch: ChannelScratch,
+        source,
+        totals: dict[str, int],
+        return_flips: bool,
+    ) -> None:
+        """Apply LRC gadgets to the masked qubits of one register, in place.
 
-        data_x = state.data_x[:, data_idx]
-        data_z = state.data_z[:, data_idx]
-        anc_x = state.anc_x[:, anc_idx]
-        anc_z = state.anc_z[:, anc_idx]
-        data_leak = state.data_leaked[:, data_idx]
-        anc_leak = state.anc_leaked[:, anc_idx]
-        healthy = ~data_leak & ~anc_leak
-        is_z_row = is_z[np.newaxis, :]
+        Draw order (removal, [X-flip, Z-flip for data qubits], gate hit,
+        Pauli choice, induced leakage) is the frozen RNG contract; the caller
+        gates the whole block on the baseline's ``mask.any()`` condition (via
+        the round's LRC flag), so the draw sequence stays identical.
+        """
+        t1, t2 = scratch.t1, scratch.t2
+        mask_u8 = mask.view(np.uint8)
+        leaked_u8 = leaked.view(np.uint8)
+        x_u8 = frame_x.view(np.uint8)
+        z_u8 = frame_z.view(np.uint8)
+        # removed = mask & leaked & (U < removal_prob)
+        removal = source.next()
+        np.bitwise_and(mask_u8, leaked_u8, out=t1)
+        t1 &= removal
+        source.release(removal)
+        leaked_u8 ^= t1  # removed is a subset of leaked
+        if return_flips:
+            # A returned data qubit re-enters the computational subspace in a
+            # random state: model as a 50/50 X flip plus full dephasing.
+            # (Ancillas are reset right afterwards; the baseline never drew
+            # these for them.)
+            flip = source.next()
+            np.bitwise_and(flip, t1, out=t2)
+            source.release(flip)
+            x_u8 ^= t2
+            flip = source.next()
+            np.bitwise_and(flip, t1, out=t2)
+            source.release(flip)
+            z_u8 ^= t2
+        # Gadget noise on every treated qubit (leaked or not).
+        hit = source.next()
+        np.bitwise_and(hit, mask_u8, out=t2)
+        source.release(hit)
+        pauli = source.next()
+        np.not_equal(pauli, 2, out=t1)
+        t1 &= t2
+        x_u8 ^= t1
+        np.not_equal(pauli, 0, out=t1)
+        t1 &= t2
+        z_u8 ^= t1
+        source.release(pauli)
+        # Gadget-induced leakage.
+        induced = source.next()
+        np.bitwise_and(induced, mask_u8, out=t1)
+        source.release(induced)
+        np.bitwise_xor(leaked_u8, 1, out=t2)
+        t1 &= t2  # new leaks
+        leaked_u8 |= t1
+        totals["leak_events"] += int(np.count_nonzero(t1))
 
-        # Ideal CNOT propagation where both operands are in the computational
-        # subspace.  Z-type checks: control = data, target = ancilla;
-        # X-type checks: control = ancilla, target = data.
-        new_anc_x = anc_x ^ (data_x & healthy & is_z_row)
-        new_data_z = data_z ^ (anc_z & healthy & is_z_row)
-        new_data_x = data_x ^ (anc_x & healthy & ~is_z_row)
-        new_anc_z = anc_z ^ (data_z & healthy & ~is_z_row)
+    #: Shot rows per tile of the layer kernel: ~20 uint8 buffers of
+    #: ``rows * gates`` bytes must stay L2-resident while the op sequence
+    #: sweeps over them.
+    _LAYER_TILE_ROWS = 2048
 
-        # Leaked-operand malfunction: the healthy partner either inherits the
-        # leakage (probability = mobility) or picks up a random Pauli.
-        data_only = data_leak & ~anc_leak
-        anc_only = anc_leak & ~data_leak
-        transport = rng.random(shape) < noise.leakage_mobility
-        anc_gets_leak = data_only & transport
-        data_gets_leak = anc_only & transport
-        scramble_anc = data_only & ~transport
-        scramble_data = anc_only & ~transport
-        rand_x = rng.random(shape) < 0.5
-        rand_z = rng.random(shape) < 0.5
-        new_anc_x ^= scramble_anc & rand_x
-        new_anc_z ^= scramble_anc & rand_z
-        rand_x2 = rng.random(shape) < 0.5
-        rand_z2 = rng.random(shape) < 0.5
-        new_data_x ^= scramble_data & rand_x2
-        new_data_z ^= scramble_data & rand_z2
+    def _apply_cnot_layer(self, layer_index: int, ws: RoundWorkspace, source) -> int:
+        """Execute one entangling layer on the packed planes; return new leaks.
 
-        # Two-qubit depolarising gate error.
-        gate_hit = rng.random(shape) < noise.p
-        pauli_pair = rng.integers(1, 16, size=shape)
-        new_data_x ^= gate_hit & ((pauli_pair & 1) != 0)
-        new_data_z ^= gate_hit & ((pauli_pair & 2) != 0)
-        new_anc_x ^= gate_hit & ((pauli_pair & 4) != 0)
-        new_anc_z ^= gate_hit & ((pauli_pair & 8) != 0)
+        All masks are uint8 0/1 so the whole layer is bitwise arithmetic on
+        byte arrays.  The Bernoulli masks arrive pre-thresholded from the
+        draw source in their baseline order and shapes (the frozen RNG
+        contract); they are pulled up front so the ~40-op algebra can then
+        run *tiled over shot blocks*, keeping every operand in cache instead
+        of streaming full ``(shots, gates)`` arrays through memory once per
+        op.  Tiling is pure loop blocking — the computation per element is
+        unchanged.
+        """
+        lw = ws.layers[layer_index]
+        if lw is None:
+            return 0
+        anc_idx = self._slot_anc[layer_index]
+        data_idx = self._slot_data[layer_index]
+        is_z_full = ws.layer_is_z_full[layer_index]
+        assert is_z_full is not None  # allocated for every non-empty layer
 
-        # Gate-induced leakage on both operands.
-        data_gate_leak = rng.random(shape) < noise.p_leak
-        anc_gate_leak = rng.random(shape) < noise.p_leak
-
-        # Write everything back.
-        state.data_x[:, data_idx] = new_data_x
-        state.data_z[:, data_idx] = new_data_z
-        state.anc_x[:, anc_idx] = new_anc_x
-        state.anc_z[:, anc_idx] = new_anc_z
-
-        new_data_leak_mask = (data_gets_leak | data_gate_leak) & ~state.data_leaked[:, data_idx]
-        new_anc_leak_mask = (anc_gets_leak | anc_gate_leak) & ~state.anc_leaked[:, anc_idx]
-        state.data_leaked[:, data_idx] |= new_data_leak_mask
-        state.anc_leaked[:, anc_idx] |= new_anc_leak_mask
-        return int(new_data_leak_mask.sum()) + int(new_anc_leak_mask.sum())
-
-    def _measure(self, state: SimState) -> tuple[np.ndarray, np.ndarray | None]:
-        """Measure every ancilla; return (outcomes, MLR flags or None)."""
-        noise, rng = self.noise, self.rng
-        raw = np.where(self._anc_is_z[np.newaxis, :], state.anc_x, state.anc_z)
-        outcome = raw ^ (rng.random(raw.shape) < noise.p)
-        if noise.readout_leak_random:
-            random_bits = rng.random(raw.shape) < 0.5
-            outcome = np.where(state.anc_leaked, random_bits, outcome)
+        # NB: ``pack[:, idx]`` yields a transposed-layout copy (advanced
+        # indexing iterates the index axis first); the C kernel needs C-order.
+        if self._use_ckernels:
+            pd = ws.data_pack.take(data_idx, axis=1)
+            pa = ws.anc_pack.take(anc_idx, axis=1)
         else:
-            outcome = np.where(state.anc_leaked, True, outcome)
+            pd = ws.data_pack[:, data_idx]
+            pa = ws.anc_pack[:, anc_idx]
+        # The layer's full draw schedule, in stream order.
+        transport = source.next()
+        rand_x = source.next()
+        rand_z = source.next()
+        rand_x2 = source.next()
+        rand_z2 = source.next()
+        gate_hit = source.next()
+        pauli_pair = source.next()  # uint8 1..15
+        data_gate_leak = source.next()
+        anc_gate_leak = source.next()
+        masks = (
+            transport, rand_x, rand_z, rand_x2, rand_z2,
+            gate_hit, pauli_pair, data_gate_leak, anc_gate_leak,
+        )
 
-        mlr_flags: np.ndarray | None = None
+        if self._use_ckernels:
+            # One fused C pass over all operands (identical per-element
+            # semantics to the tiled NumPy loop below).
+            _ckernels.cnot_layer(pd, pa, is_z_full, masks, ws.layer_counts)
+            for mask in masks:
+                source.release(mask)
+            ws.data_pack[:, data_idx] = pd
+            ws.anc_pack[:, anc_idx] = pa
+            return int(ws.layer_counts[0]) + int(ws.layer_counts[1])
+
+        shots = pd.shape[0]
+        tile = self._LAYER_TILE_ROWS
+        # Hoist the ufuncs: with every operand pre-sliced per tile the loop
+        # body is pure C dispatch, ~5 us per op on L2-resident tiles.
+        band, bxor, bor = np.bitwise_and, np.bitwise_xor, np.bitwise_or
+        rshift, lshift, add, mul = np.right_shift, np.left_shift, np.add, np.multiply
+        for start in range(0, shots, tile):
+            s = slice(start, min(start + tile, shots))
+            cpd, cpa = pd[s], pa[s]
+            ld, la = lw.ld[s], lw.la[s]
+            hz, hnz = lw.hz[s], lw.hnz[s]
+            t = lw.t[s]
+            m1, m2, m4, m5 = lw.m1[s], lw.m2[s], lw.m4[s], lw.m5[s]
+            tr, rx, rz = transport[s], rand_x[s], rand_z[s]
+            rx2, rz2 = rand_x2[s], rand_z2[s]
+            gh, pp = gate_hit[s], pauli_pair[s]
+            dgl, agl = data_gate_leak[s], anc_gate_leak[s]
+
+            rshift(cpd, 2, out=ld)  # original leak flags (3-bit packs)
+            rshift(cpa, 2, out=la)
+            bor(ld, la, out=t)
+            bxor(t, 1, out=t)  # healthy
+            band(t, is_z_full[s], out=hz)  # healthy Z-type columns
+            bxor(t, hz, out=hnz)  # healthy X-type columns
+
+            # Ideal CNOT propagation where both operands are in the
+            # computational subspace.  Z-type checks: control = data,
+            # target = ancilla; X-type checks: control = ancilla, target =
+            # data.  The four updates run in place because each reads plane
+            # bits only at columns the earlier updates did not touch (Z- and
+            # X-type columns are disjoint); ANDing with the 0/1 masks both
+            # selects the X bit and strips any higher pack bits.
+            band(cpd, hz, out=t)  # data_x & healthy & Z-type
+            bxor(cpa, t, out=cpa)
+            rshift(cpa, 1, out=t)  # anc_z (| leak bit, stripped by hz)
+            band(t, hz, out=t)
+            add(t, t, out=t)
+            bxor(cpd, t, out=cpd)
+            band(cpa, hnz, out=t)  # anc_x & healthy & X-type
+            bxor(cpd, t, out=cpd)
+            rshift(cpd, 1, out=t)  # data_z (| leak bit, stripped by hnz)
+            band(t, hnz, out=t)
+            add(t, t, out=t)
+            bxor(cpa, t, out=cpa)
+
+            # Leaked-operand malfunction: the healthy partner either inherits
+            # the leakage (probability = mobility) or picks up a random Pauli.
+            bxor(la, 1, out=t)
+            band(ld, t, out=m1)  # data_only
+            bxor(ld, 1, out=t)
+            band(la, t, out=m2)  # anc_only
+            band(m1, tr, out=m4)  # anc_gets_leak
+            band(m2, tr, out=m5)  # data_gets_leak
+            bxor(tr, 1, out=t)
+            band(m1, t, out=m1)  # scramble_anc
+            band(m2, t, out=m2)  # scramble_data
+            band(m1, rx, out=t)
+            bxor(cpa, t, out=cpa)
+            band(m1, rz, out=t)
+            add(t, t, out=t)
+            bxor(cpa, t, out=cpa)
+            band(m2, rx2, out=t)
+            bxor(cpd, t, out=cpd)
+            band(m2, rz2, out=t)
+            add(t, t, out=t)
+            bxor(cpd, t, out=cpd)
+
+            # Two-qubit depolarising gate error: the low Pauli-pair bits land
+            # on the data plane, the high bits on the ancilla plane — two
+            # bitwise ANDs per register instead of one op per plane bit.
+            mul(gh, 3, out=m1)  # hit mask over both plane bits
+            band(pp, 3, out=t)
+            band(t, m1, out=t)
+            bxor(cpd, t, out=cpd)
+            rshift(pp, 2, out=t)
+            band(t, m1, out=t)
+            bxor(cpa, t, out=cpa)
+
+            # Gate-induced leakage on both operands.
+            bor(m5, dgl, out=m5)
+            bxor(ld, 1, out=t)
+            band(m5, t, out=m5)  # new data leaks
+            bor(m4, agl, out=m4)
+            bxor(la, 1, out=t)
+            band(m4, t, out=m4)  # new ancilla leaks
+            lshift(m5, 2, out=t)
+            bor(cpd, t, out=cpd)
+            lshift(m4, 2, out=t)
+            bor(cpa, t, out=cpa)
+
+        for mask in masks:
+            source.release(mask)
+
+        # Write the packed planes back.
+        ws.data_pack[:, data_idx] = pd
+        ws.anc_pack[:, anc_idx] = pa
+        return int(np.count_nonzero(lw.m5)) + int(np.count_nonzero(lw.m4))
+
+    def _measure(self, state: SimState, ws: RoundWorkspace, source) -> None:
+        """Measure every ancilla into ``ws.measurement`` (+ MLR flags)."""
+        noise = self.noise
+        meas = ws.measurement
+        t1 = ws.anc.t1
+        # Select the measured plane per ancilla straight from the packed
+        # representation: bit 0 for Z-type checks, bit 1 for X-type.
+        meas_u8 = meas.view(np.uint8)
+        np.right_shift(ws.anc_pack, self._measure_shift_row, out=meas_u8)
+        meas_u8 &= 1
+        flip = source.next()
+        meas_u8 ^= flip
+        source.release(flip)
+        leaked_u8 = state.anc_leaked.view(np.uint8)
+        if noise.readout_leak_random:
+            random_bits = source.next()
+            np.copyto(meas_u8, random_bits, where=state.anc_leaked)
+            source.release(random_bits)
+        else:
+            meas_u8 |= leaked_u8
+
         if self.policy.uses_mlr:
-            missed = rng.random(raw.shape) < noise.mlr_error
-            false_flag = rng.random(raw.shape) < noise.p
-            mlr_flags = (state.anc_leaked & ~missed) | (~state.anc_leaked & false_flag)
+            assert ws.mlr_flags is not None
+            mlr_u8 = ws.mlr_flags.view(np.uint8)
+            missed = source.next()
+            false_flag = source.next()
+            np.bitwise_xor(missed, 1, out=t1)
+            source.release(missed)
+            np.bitwise_and(leaked_u8, t1, out=mlr_u8)
+            np.bitwise_xor(leaked_u8, 1, out=t1)
+            t1 &= false_flag
+            source.release(false_flag)
+            mlr_u8 |= t1
             # MLR-triggered resets return correctly flagged ancillas to the
             # computational subspace before the next round.
-            state.anc_leaked &= ~(mlr_flags & state.anc_leaked)
-        return outcome, mlr_flags
+            np.bitwise_xor(mlr_u8, 1, out=t1)
+            leaked_u8 &= t1
 
     # ------------------------------------------------------------------ #
     # Pattern extraction and bookkeeping
     # ------------------------------------------------------------------ #
-    def _extract_patterns(self, detectors: np.ndarray) -> np.ndarray:
-        """Pack each data qubit's adjacent detector flips into an integer."""
-        shots = detectors.shape[0]
-        pattern_ints = np.zeros((shots, self.code.num_data), dtype=np.int64)
-        for position, qubits, stab_groups in self._pattern_gather:
-            if stab_groups.shape[1] == 1:
-                bits = detectors[:, stab_groups[:, 0]]
-            else:
-                bits = detectors[:, stab_groups[:, 0]]
-                for column in range(1, stab_groups.shape[1]):
-                    bits = bits | detectors[:, stab_groups[:, column]]
-            pattern_ints[:, qubits] |= bits.astype(np.int64) << position
-        return pattern_ints
+    def _extract_patterns(
+        self, detectors: np.ndarray, out: np.ndarray, ws: RoundWorkspace
+    ) -> None:
+        """Pack each data qubit's adjacent detector flips into ``out``.
 
-    def _mlr_neighbor(self, mlr_flags: np.ndarray) -> np.ndarray:
+        Runs as float32 GEMMs (see :meth:`_build_gather_structures`): a
+        member-count matmul, an OR threshold, and a position-weight matmul —
+        no per-group Python loop, no int64 scatter traffic.  The float
+        results are small exact integers, so the final cast is lossless.
+        """
+        np.copyto(ws.det_f32, detectors, casting="unsafe")
+        if self._pattern_single_member:
+            assert self._pattern_matrix is not None
+            np.matmul(ws.det_f32, self._pattern_matrix, out=ws.pat_f32)
+        else:
+            assert self._pattern_members is not None
+            assert self._pattern_weights is not None and ws.counts_f32 is not None
+            np.matmul(ws.det_f32, self._pattern_members, out=ws.counts_f32)
+            np.not_equal(ws.counts_f32, 0, out=ws.counts_f32)
+            np.matmul(ws.counts_f32, self._pattern_weights, out=ws.pat_f32)
+        np.copyto(out, ws.pat_f32, casting="unsafe")
+
+    def _mlr_neighbor(
+        self, mlr_flags: np.ndarray, out: np.ndarray, ws: RoundWorkspace
+    ) -> None:
         """OR of the MLR flags of each data qubit's adjacent ancillas."""
-        shots = mlr_flags.shape[0]
-        result = np.zeros((shots, self.code.num_data), dtype=bool)
         for qubits, ancilla_rows in self._neighbor_gather:
             flags = mlr_flags[:, ancilla_rows[:, 0]]
             for column in range(1, ancilla_rows.shape[1]):
-                flags = flags | mlr_flags[:, ancilla_rows[:, column]]
-            result[:, qubits] = flags
-        return result
+                flags |= mlr_flags[:, ancilla_rows[:, column]]
+            out[:, qubits] = flags
 
     def _record_patterns(
         self,
@@ -577,17 +983,21 @@ class LeakageSimulator:
         data_leaked: np.ndarray,
         histogram: dict[int, dict[int, tuple[int, int]]],
     ) -> None:
-        """Accumulate per-width pattern counts split by true leakage status."""
-        widths = np.asarray(self.code.pattern_widths)
-        for width in np.unique(widths):
-            qubits = np.nonzero(widths == width)[0]
+        """Accumulate per-width pattern counts split by true leakage status.
+
+        One ``np.bincount`` over ``value * 2 + leaked`` replaces the
+        baseline's Python loop over all ``2**width`` values (each of which
+        scanned the whole batch); the resulting histogram is identical,
+        including explicit zero entries for unobserved patterns.
+        """
+        for width, qubits in self._width_groups:
             values = pattern_ints[:, qubits].ravel()
             leaked = data_leaked[:, qubits].ravel()
-            width_hist = histogram.setdefault(int(width), {})
-            for value in range(1 << int(width)):
-                select = values == value
-                leaked_count = int((select & leaked).sum())
-                clean_count = int((select & ~leaked).sum())
+            counts = np.bincount(values * 2 + leaked, minlength=2 << width)
+            width_hist = histogram.setdefault(width, {})
+            for value in range(1 << width):
+                leaked_count = int(counts[2 * value + 1])
+                clean_count = int(counts[2 * value])
                 if value in width_hist:
                     old_leaked, old_clean = width_hist[value]
                     width_hist[value] = (old_leaked + leaked_count, old_clean + clean_count)
@@ -597,19 +1007,25 @@ class LeakageSimulator:
     # ------------------------------------------------------------------ #
     # Final readout
     # ------------------------------------------------------------------ #
-    def _final_readout(self, state: SimState) -> tuple[np.ndarray, np.ndarray]:
+    def _final_readout(
+        self, state: SimState, ws: RoundWorkspace, source
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Transversal data readout: final detectors and the logical observable."""
-        noise, rng = self.noise, self.rng
-        data_meas = state.data_x ^ (rng.random(state.data_x.shape) < noise.p)
+        noise = self.noise
+        flip = source.next()
+        data_meas = np.bitwise_xor(state.data_x.view(np.uint8), flip)
+        source.release(flip)
         if noise.readout_leak_random:
-            random_bits = rng.random(data_meas.shape) < 0.5
-            data_meas = np.where(state.data_leaked, random_bits, data_meas)
+            random_bits = source.next()
+            np.copyto(data_meas, random_bits, where=state.data_leaked)
+            source.release(random_bits)
         else:
-            data_meas = np.where(state.data_leaked, True, data_meas)
+            data_meas |= state.data_leaked.view(np.uint8)
         # Final-round detectors: parity of the measured data over each
         # Z-stabilizer support, compared against that stabilizer's last
-        # in-circuit measurement.
-        z_parity = (data_meas.astype(np.uint8) @ self._z_support.T.astype(np.uint8)) % 2
+        # in-circuit measurement.  ``data_meas`` is already the 0/1 uint8 the
+        # matmul wants.
+        z_parity = (data_meas @ self._z_support_t_u8) % 2
         last_z = state.prev_measurement[:, self._z_stab_indices]
         final_detectors = z_parity.astype(bool) ^ last_z
         observable = (

@@ -7,6 +7,18 @@ leakage is tracked classically, exactly as in the ERASER/GLADIATOR artifacts
 (leaked qubits stop participating in normal gate action and instead
 randomise their partners), which is the behavioural model calibrated on IBM
 hardware in Section 2.3 of the paper.
+
+Every noise channel comes in two bit-identical flavours:
+
+* the historical allocating path (``rng=...``): fresh arrays per draw,
+  kept as the plain-NumPy reference semantics;
+* an in-place path (``source=...``, ``scratch=...``) that consumes
+  pre-thresholded uint8 masks from a :mod:`repro.sim.draws` source and
+  applies them with bitwise kernels on uint8 views of the bool planes
+  (bool arrays are byte-backed 0/1, so the views are free).
+
+Both consume the same RNG values in the same order — the in-place path only
+changes *where* draws land and *who* generates them, never *what* is drawn.
 """
 
 from __future__ import annotations
@@ -15,7 +27,23 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["SimState"]
+__all__ = ["ChannelScratch", "SimState"]
+
+
+@dataclass
+class ChannelScratch:
+    """Two reusable uint8 mask temporaries for one register's channels."""
+
+    t1: np.ndarray  # uint8 (shots, n)
+    t2: np.ndarray  # uint8 (shots, n)
+
+    @classmethod
+    def allocate(cls, shots: int, n: int) -> "ChannelScratch":
+        """Allocate scratch for an ``n``-qubit register of ``shots`` shots."""
+        return cls(
+            t1=np.empty((shots, n), dtype=np.uint8),
+            t2=np.empty((shots, n), dtype=np.uint8),
+        )
 
 
 @dataclass
@@ -49,37 +77,91 @@ class SimState:
     # ------------------------------------------------------------------ #
     # Noise channels (vectorised over shots and qubits)
     # ------------------------------------------------------------------ #
-    def depolarize_data(self, probability: float, rng: np.random.Generator) -> None:
+    def depolarize_data(
+        self,
+        probability: float,
+        rng: np.random.Generator | None = None,
+        source=None,
+        scratch: ChannelScratch | None = None,
+    ) -> None:
         """Apply single-qubit depolarising noise to every data qubit."""
         if probability <= 0:
             return
-        hit = rng.random(self.data_x.shape) < probability
-        # Choose uniformly among X, Y, Z when the channel fires.
-        pauli = rng.integers(0, 3, size=self.data_x.shape)
-        self.data_x ^= hit & (pauli != 2)  # X or Y flips the X frame
-        self.data_z ^= hit & (pauli != 0)  # Y or Z flips the Z frame
+        if source is None:
+            assert rng is not None
+            hit = rng.random(self.data_x.shape) < probability
+            # Choose uniformly among X, Y, Z when the channel fires.
+            pauli = rng.integers(0, 3, size=self.data_x.shape)
+            self.data_x ^= hit & (pauli != 2)  # X or Y flips the X frame
+            self.data_z ^= hit & (pauli != 0)  # Y or Z flips the Z frame
+            return
+        assert scratch is not None
+        hit = source.next()
+        pauli = source.next()
+        np.not_equal(pauli, 2, out=scratch.t1)
+        scratch.t1 &= hit
+        self.data_x.view(np.uint8)[...] ^= scratch.t1
+        np.not_equal(pauli, 0, out=scratch.t1)
+        scratch.t1 &= hit
+        self.data_z.view(np.uint8)[...] ^= scratch.t1
+        source.release(hit)
+        source.release(pauli)
 
-    def inject_data_leakage(self, probability: float, rng: np.random.Generator) -> np.ndarray:
-        """Leak data qubits independently with ``probability``; return new-leak mask."""
-        if probability <= 0:
-            return np.zeros_like(self.data_leaked)
-        new_leak = (rng.random(self.data_leaked.shape) < probability) & ~self.data_leaked
-        self.data_leaked |= new_leak
-        return new_leak
+    def inject_data_leakage(
+        self,
+        probability: float,
+        rng: np.random.Generator | None = None,
+        source=None,
+        scratch: ChannelScratch | None = None,
+    ) -> np.ndarray | int:
+        """Leak data qubits independently with ``probability``.
 
-    def inject_ancilla_leakage(self, probability: float, rng: np.random.Generator) -> np.ndarray:
-        """Leak ancilla qubits independently with ``probability``; return new-leak mask."""
+        The allocating path returns the new-leak mask (baseline semantics);
+        the source path applies it in place and returns the event count.
+        """
+        return self._inject_leakage(self.data_leaked, probability, rng, source, scratch)
+
+    def inject_ancilla_leakage(
+        self,
+        probability: float,
+        rng: np.random.Generator | None = None,
+        source=None,
+        scratch: ChannelScratch | None = None,
+    ) -> np.ndarray | int:
+        """Leak ancilla qubits independently with ``probability``."""
+        return self._inject_leakage(self.anc_leaked, probability, rng, source, scratch)
+
+    def _inject_leakage(
+        self,
+        leaked: np.ndarray,
+        probability: float,
+        rng: np.random.Generator | None,
+        source,
+        scratch: ChannelScratch | None,
+    ) -> np.ndarray | int:
         if probability <= 0:
-            return np.zeros_like(self.anc_leaked)
-        new_leak = (rng.random(self.anc_leaked.shape) < probability) & ~self.anc_leaked
-        self.anc_leaked |= new_leak
-        return new_leak
+            return 0 if source is not None else np.zeros_like(leaked)
+        if source is None:
+            assert rng is not None
+            new_leak = (rng.random(leaked.shape) < probability) & ~leaked
+            leaked |= new_leak
+            return new_leak
+        assert scratch is not None
+        mask = source.next()
+        leaked_u8 = leaked.view(np.uint8)
+        np.bitwise_xor(leaked_u8, 1, out=scratch.t1)
+        np.bitwise_and(mask, scratch.t1, out=scratch.t2)  # new leaks
+        source.release(mask)
+        leaked_u8 |= scratch.t2
+        return int(np.count_nonzero(scratch.t2))
 
     def reset_ancillas(
         self,
         flip_probability: float,
-        rng: np.random.Generator,
+        rng: np.random.Generator | None = None,
         leakage_removal_probability: float = 1.0,
+        source=None,
+        scratch: ChannelScratch | None = None,
     ) -> None:
         """Reset every ancilla frame; imperfect resets start with a Pauli flip.
 
@@ -90,14 +172,31 @@ class SimState:
         """
         self.anc_x[:] = False
         self.anc_z[:] = False
+        if source is None:
+            assert rng is not None
+            if flip_probability > 0:
+                self.anc_x ^= rng.random(self.anc_x.shape) < flip_probability
+                self.anc_z ^= rng.random(self.anc_z.shape) < flip_probability
+            if leakage_removal_probability > 0:
+                cleared = self.anc_leaked & (
+                    rng.random(self.anc_leaked.shape) < leakage_removal_probability
+                )
+                self.anc_leaked &= ~cleared
+            return
+        assert scratch is not None
         if flip_probability > 0:
-            self.anc_x ^= rng.random(self.anc_x.shape) < flip_probability
-            self.anc_z ^= rng.random(self.anc_z.shape) < flip_probability
+            mask = source.next()
+            self.anc_x.view(np.uint8)[...] ^= mask
+            source.release(mask)
+            mask = source.next()
+            self.anc_z.view(np.uint8)[...] ^= mask
+            source.release(mask)
         if leakage_removal_probability > 0:
-            cleared = self.anc_leaked & (
-                rng.random(self.anc_leaked.shape) < leakage_removal_probability
-            )
-            self.anc_leaked &= ~cleared
+            mask = source.next()
+            leaked_u8 = self.anc_leaked.view(np.uint8)
+            np.bitwise_and(mask, leaked_u8, out=scratch.t1)  # cleared
+            source.release(mask)
+            leaked_u8 ^= scratch.t1  # cleared is a subset of leaked
 
     def leaked_fraction(self) -> float:
         """Fraction of data qubits currently leaked, averaged over shots."""

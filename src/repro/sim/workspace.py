@@ -1,0 +1,171 @@
+"""Preallocated per-run scratch memory for the simulator hot path.
+
+One QEC round of the baseline simulator allocated ~30 fresh ``(shots, n)``
+arrays: every Bernoulli draw materialised a new float64 array, every chained
+boolean expression (``a & b & ~c``) two intermediate temporaries, and every
+entangling layer a full set of gather copies.  At the 100d-round scale the
+paper's leakage-population sweeps run at (Section 6, "Scaling Simulations
+using Leakage Sampling"), allocator traffic and redundant passes over
+round-shaped arrays — not arithmetic — dominated wall-clock.
+
+:class:`RoundWorkspace` hoists the buffers out of the round loop: the
+round-shaped temporaries are allocated once per
+:meth:`~repro.sim.LeakageSimulator.run_incremental` call and reused every
+round.  Random draws land in the pinned float64 buffers via
+``Generator.random(out=...)`` — the same C stream as
+``Generator.random(shape)``, so the optimized simulator consumes the
+*identical* sequence of RNG values as the allocating baseline and stays
+bit-for-bit reproducible (the frozen contract ``tests/test_sim_equivalence.py``
+enforces).
+
+Two further representations live here because they make the hot loops much
+cheaper than the public boolean layout:
+
+* ``data_pack`` / ``anc_pack`` are uint8 planes packing each register's
+  Pauli frame and leakage flag as ``x | z << 1 | leaked << 2``.  The CNOT
+  layers gather/scatter *one* packed array per register instead of six
+  boolean ones, and apply the two-qubit Pauli-pair error with two bitwise
+  ops instead of eight.  The packs are rebuilt from the boolean state before
+  the entangling layers and unpacked right after, so every other phase (and
+  every policy) keeps seeing plain ``bool`` arrays.
+* ``det_f32`` / ``counts_f32`` / ``pat_f32`` back the pattern extraction,
+  which is two small float32 matmuls (member-count GEMM, OR-threshold,
+  position-weight GEMM) instead of per-group gather/shift/scatter loops.
+
+Nothing in here is shared across ``run_incremental`` calls: a fresh
+workspace per call is what keeps concurrent generators (e.g. multiple
+:class:`repro.realtime.SimulatorStream` instances over distinct simulators)
+isolated without locking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .state import ChannelScratch
+
+__all__ = ["LayerWorkspace", "RoundWorkspace"]
+
+
+@dataclass
+class LayerWorkspace:
+    """Scratch for one entangling layer of ``gates`` CNOTs.
+
+    Layers with the same gate count share one instance: a layer's buffers
+    are dead once its write-back completes, so reuse across layers is safe.
+    All masks are uint8 holding 0/1 (the packed-plane algebra is bitwise);
+    the Bernoulli masks themselves arrive from the run's draw source.
+    """
+
+    ld: np.ndarray  # original data-leak flags (0/1)
+    la: np.ndarray  # original ancilla-leak flags (0/1)
+    hz: np.ndarray  # healthy & Z-type-column mask
+    hnz: np.ndarray  # healthy & X-type-column mask
+    t: np.ndarray  # general temporary
+    m1: np.ndarray  # mask slots (scramble masks, gate-hit, new leaks, ...)
+    m2: np.ndarray
+    m4: np.ndarray
+    m5: np.ndarray
+
+    @classmethod
+    def allocate(cls, shots: int, gates: int) -> "LayerWorkspace":
+        """Allocate all buffers for a ``(shots, gates)`` layer."""
+        u8 = lambda: np.empty((shots, gates), dtype=np.uint8)  # noqa: E731
+        return cls(
+            ld=u8(), la=u8(), hz=u8(), hnz=u8(),
+            t=u8(), m1=u8(), m2=u8(), m4=u8(), m5=u8(),
+        )
+
+
+class RoundWorkspace:
+    """Every round-shaped temporary of one simulator run, allocated once.
+
+    Lifetimes (audited in the simulator, pinned by the no-aliasing tests):
+
+    * ``data_lrc`` / ``anc_lrc`` double as last round's pending-LRC input and
+      this round's policy-decision output — the pending mask is fully
+      consumed in phase 1 before the policy overwrites it in phase 6.
+    * ``pattern_a`` / ``pattern_b`` ping-pong between "current" and
+      "previous" round patterns (two-round policies read both), swapped by
+      the simulator after each round.
+    * ``measurement`` is reference-swapped with ``SimState.prev_measurement``
+      each round, so consecutive measurements alternate between two buffers
+      without copying.
+    * ``anc_lrc`` is a single *frozen* (non-writable) zeros array when the
+      policy declares ``emits_ancilla_lrc = False`` — the per-round
+      ``np.zeros`` of the baseline hoisted to one allocation per run.
+    """
+
+    def __init__(
+        self,
+        shots: int,
+        num_data: int,
+        num_ancilla: int,
+        layer_is_z: list[np.ndarray],
+        num_pattern_groups: int,
+        pattern_needs_threshold: bool,
+        uses_mlr: bool,
+        emits_ancilla_lrc: bool,
+        pattern_dtype: type = np.int64,
+    ) -> None:
+        self.shots = shots
+        # Per-channel scratch (Bernoulli landing zones + two bool temporaries).
+        self.data = ChannelScratch.allocate(shots, num_data)
+        self.anc = ChannelScratch.allocate(shots, num_ancilla)
+        # Pending-LRC / decision buffers.
+        self.data_lrc = np.zeros((shots, num_data), dtype=bool)
+        if emits_ancilla_lrc:
+            self.anc_lrc = np.zeros((shots, num_ancilla), dtype=bool)
+        else:
+            frozen = np.zeros((shots, num_ancilla), dtype=bool)
+            frozen.flags.writeable = False
+            self.anc_lrc = frozen
+        self.emits_ancilla_lrc = emits_ancilla_lrc
+        # Speculation-pattern ping-pong (current / previous round).
+        self.pattern_a = np.zeros((shots, num_data), dtype=pattern_dtype)
+        self.pattern_b = np.zeros((shots, num_data), dtype=pattern_dtype)
+        # Measurement round-trip.
+        self.measurement = np.empty((shots, num_ancilla), dtype=bool)
+        self.detectors = np.empty((shots, num_ancilla), dtype=bool)
+        self.mlr_flags = (
+            np.empty((shots, num_ancilla), dtype=bool) if uses_mlr else None
+        )
+        self.mlr_neighbor = (
+            np.empty((shots, num_data), dtype=bool) if uses_mlr else None
+        )
+        # New-leak event counters filled by the fused C layer kernel.
+        self.layer_counts = np.zeros(2, dtype=np.int64)
+        # Packed Pauli-frame planes (x | z<<1 | leaked<<2) and the uint8
+        # shift scratch used to (un)pack them around the entangling layers.
+        self.data_pack = np.empty((shots, num_data), dtype=np.uint8)
+        self.anc_pack = np.empty((shots, num_ancilla), dtype=np.uint8)
+        self.data_u8 = np.empty((shots, num_data), dtype=np.uint8)
+        self.anc_u8 = np.empty((shots, num_ancilla), dtype=np.uint8)
+        # Pattern-extraction GEMM operands.
+        self.det_f32 = np.empty((shots, num_ancilla), dtype=np.float32)
+        self.pat_f32 = np.empty((shots, num_data), dtype=np.float32)
+        self.counts_f32 = (
+            np.empty((shots, num_pattern_groups), dtype=np.float32)
+            if pattern_needs_threshold
+            else None
+        )
+        # One LayerWorkspace per distinct gate count, shared between layers,
+        # plus a full-size 0/1 basis mask per layer: materialised columns
+        # beat a broadcast (1, gates) row inside the bitwise kernels.
+        by_gates: dict[int, LayerWorkspace] = {}
+        self.layers: list[LayerWorkspace | None] = []
+        self.layer_is_z_full: list[np.ndarray | None] = []
+        for is_z in layer_is_z:
+            gates = int(is_z.shape[0])
+            if not gates:
+                self.layers.append(None)
+                self.layer_is_z_full.append(None)
+                continue
+            if gates not in by_gates:
+                by_gates[gates] = LayerWorkspace.allocate(shots, gates)
+            self.layers.append(by_gates[gates])
+            full = np.empty((shots, gates), dtype=np.uint8)
+            full[:] = is_z.astype(np.uint8)[np.newaxis, :]
+            self.layer_is_z_full.append(full)
