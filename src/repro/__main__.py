@@ -9,7 +9,11 @@ declarative :class:`~repro.api.config.ExperimentConfig`:
   realtime) experiment;
 * ``sweep`` — either a named preset (the legacy ``python -m repro.sweeps``
   workloads) or a config-driven grid via repeated ``--axis``;
-* ``realtime`` — N concurrent simulator streams through the decode service.
+* ``realtime`` — N concurrent simulator streams through the decode service;
+* ``fuzz`` — the registry-driven scenario-matrix fuzzer, e.g.::
+
+    python -m repro fuzz --budget smoke --report fuzz_report.json
+    python -m repro fuzz --cells 'toric/*' --cells '*/floods/*' --seed 3
 
 ``run``, ``sweep`` and ``realtime`` all accept ``--config file.json`` plus
 dotted overrides, e.g.::
@@ -268,6 +272,36 @@ def _cmd_realtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .fuzz import enumerate_cells, run_fuzz
+
+    patterns = args.cells or None
+    if patterns and not enumerate_cells(patterns=patterns):
+        print(f"error: no scenario cells match {patterns}", file=sys.stderr)
+        return 2
+    report = run_fuzz(
+        seed=args.seed,
+        budget=args.budget,
+        patterns=patterns,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    if args.report is not None:
+        path = Path(args.report)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report.to_json())
+        print(f"wrote {path}")
+    for result in report.crashes + report.violations:
+        print(f"  {result.status}: {result.cell}", file=sys.stderr)
+        for violation in result.violations:
+            print(f"    {violation}", file=sys.stderr)
+        if result.error is not None:
+            print(f"    {result.error}", file=sys.stderr)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
 # --------------------------------------------------------------------- #
 # Parser
 # --------------------------------------------------------------------- #
@@ -337,6 +371,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_config_arguments(realtime_parser)
     realtime_parser.set_defaults(handler=_cmd_realtime)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="fuzz every registered scenario combination"
+    )
+    fuzz_parser.add_argument(
+        "--cells",
+        action="append",
+        default=[],
+        metavar="GLOB",
+        help="restrict to cells matching code/decoder/policy/noise/mode globs "
+        "(repeatable), e.g. --cells 'toric/*' --cells '*/floods/*'",
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0, help="matrix-wide instance seed (default: 0)"
+    )
+    fuzz_parser.add_argument(
+        "--budget",
+        default="smoke",
+        help="'smoke' (all cells, subsampled statistics), 'full' "
+        "(all cells, all tiers) or an integer cell count (default: smoke)",
+    )
+    fuzz_parser.add_argument(
+        "--report", default=None, metavar="PATH", help="write the JSON report here"
+    )
+    fuzz_parser.set_defaults(handler=_cmd_fuzz)
 
     return parser
 

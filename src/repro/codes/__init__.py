@@ -5,12 +5,14 @@ from .bpc import bpc_code, two_block_cyclic_code
 from .color import color_code
 from .hgp import hgp_code_from_checks, hypergraph_product_code
 from .surface import surface_code
+from .toric import toric_code
 
 __all__ = [
     "SpeculationGroup",
     "Stabilizer",
     "StabilizerCode",
     "surface_code",
+    "toric_code",
     "color_code",
     "hypergraph_product_code",
     "hgp_code_from_checks",

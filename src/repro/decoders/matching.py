@@ -188,6 +188,14 @@ class MatchingDecoder(DecoderBase):
                     best[with_pair] = candidate
                     choice[with_pair] = (mask, i, j)
                 rest ^= partner_bit
+        if choice[size - 1] is None:
+            # Every complete matching has infinite cost: some detectors sit in
+            # mutually unreachable components with an unreachable boundary
+            # (periodic codes have no spatial boundary at all).  There is no
+            # finite-cost assignment to commit to, so fall back to the greedy
+            # pairing, which tolerates infinite distances and still yields a
+            # best-effort correction for the reachable pairs.
+            return self._greedy_matching(flagged, distances, boundary)
         pairs: list[tuple[int, int]] = []
         mask = size - 1
         while mask:

@@ -110,6 +110,7 @@ class UnionFindDecoder(DecoderBase):
             ]
             if not odd_roots:
                 break
+            progress = (len(membership), len(members))
             for root in odd_roots:
                 if dsu.is_neutral(root):
                     continue
@@ -124,6 +125,14 @@ class UnionFindDecoder(DecoderBase):
                             )
                             membership[neighbor] = neighbor
                         dsu.union(node, neighbor)
+            if (len(membership), len(cluster_members())) == progress:
+                # An odd cluster swallowed its whole connected component and
+                # still cannot reach the boundary (possible on periodic codes,
+                # where the graph has no spatial boundary, or after hyperedge
+                # decomposition leaves an odd residual).  Growing further can
+                # never neutralise it; hand it to peeling as-is, which
+                # corrects everything except one residual flag at the root.
+                break
         else:  # pragma: no cover - defensive guard against infinite growth
             raise RuntimeError("union-find cluster growth did not converge")
 

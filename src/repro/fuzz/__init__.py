@@ -1,0 +1,55 @@
+"""Registry-driven scenario fuzzing: every registered combination, verified.
+
+The scenario matrix is the cross product of everything the registries know —
+codes x decoders x policies x noise presets — times the four execution
+modes the stack supports (offline, windowed realtime, batched decoding,
+sweep shard).  :mod:`repro.fuzz` enumerates that space live from
+:mod:`repro.api.registry`, generates a small-instance
+:class:`~repro.api.ExperimentConfig` for each cell, and asserts three
+invariant tiers per cell:
+
+1. **Schema** — the config validates, round-trips losslessly through
+   ``to_dict``/``from_dict`` and JSON, and keeps a stable digest.
+2. **Bit identity** — every execution path produces the same numbers:
+   ``Session.run`` equals direct construction equals a workers=1 sweep
+   shard, and the windowed realtime decode equals offline when the window
+   covers the whole run.
+3. **Statistical sanity** — logical error rates respond monotonically to
+   the physical error rate, decoding does not make things significantly
+   worse than no decoding, and Wilson intervals are well-ordered (all
+   tested through interval overlap, so fixed seeds can never flake).
+
+Because enumeration reads the registries at call time, registering a new
+component — in the library or from a test — puts it under fuzz coverage
+with no changes here.  Run it via ``python -m repro fuzz`` or the pytest
+smoke tier in ``tests/test_fuzz.py``.
+"""
+
+from .harness import CellResult, FuzzReport, run_fuzz
+from .invariants import RunCache, check_bit_identity, check_schema, check_statistics
+from .matrix import (
+    EXECUTION_MODES,
+    ScenarioCell,
+    SmallInstance,
+    cell_config,
+    enumerate_cells,
+    small_distance,
+    small_instance,
+)
+
+__all__ = [
+    "EXECUTION_MODES",
+    "ScenarioCell",
+    "SmallInstance",
+    "enumerate_cells",
+    "cell_config",
+    "small_distance",
+    "small_instance",
+    "RunCache",
+    "check_schema",
+    "check_bit_identity",
+    "check_statistics",
+    "CellResult",
+    "FuzzReport",
+    "run_fuzz",
+]

@@ -1,0 +1,202 @@
+"""The fuzz harness: drive the matrix, collect a machine-readable report.
+
+Budgets
+-------
+``smoke``
+    Every cell runs tiers 1 and 2; tier 3 (statistical sanity, which needs
+    larger shot counts) runs on a deterministic 1-in-4 subsample of the
+    mode-independent combinations.  Sized for a CI gate.
+``full``
+    Every cell runs every tier, tier 3 on every combination.  The nightly
+    soak budget.
+``<integer>``
+    Like ``smoke`` restricted to the first N cells of a seed-shuffled
+    ordering — a quick local iteration loop.
+
+Crash-freedom is tier 1 of the contract, so no exception escapes a cell:
+the harness records the traceback and moves on, and the report (and process
+exit code) aggregates everything found.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import traceback
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from .invariants import RunCache, check_bit_identity, check_schema, check_statistics
+from .matrix import ScenarioCell, cell_config, enumerate_cells, small_instance
+
+__all__ = ["CellResult", "FuzzReport", "run_fuzz"]
+
+#: In smoke budget, run tier 3 on combos whose hash falls in this residue.
+_SMOKE_STAT_MODULUS = 4
+
+
+@dataclass
+class CellResult:
+    """Outcome of one fuzzed cell."""
+
+    cell: str
+    status: str = "ok"  # ok | violation | crash
+    tiers: dict[str, str] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+    error: str | None = None
+    traceback: str | None = None
+    duration_ms: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "cell": self.cell,
+            "status": self.status,
+            "tiers": self.tiers,
+            "duration_ms": round(self.duration_ms, 3),
+        }
+        if self.violations:
+            data["violations"] = self.violations
+        if self.error is not None:
+            data["error"] = self.error
+            data["traceback"] = self.traceback
+        return data
+
+
+@dataclass
+class FuzzReport:
+    """Aggregated outcome of one fuzz run."""
+
+    seed: int
+    budget: str
+    cells_total: int
+    cells_run: int
+    results: list[CellResult] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def crashes(self) -> list[CellResult]:
+        return [r for r in self.results if r.status == "crash"]
+
+    @property
+    def violations(self) -> list[CellResult]:
+        return [r for r in self.results if r.status == "violation"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.crashes and not self.violations
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "cells_total": self.cells_total,
+            "cells_run": self.cells_run,
+            "crashes": len(self.crashes),
+            "violations": len(self.violations),
+            "duration_s": round(self.duration_s, 3),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    def to_json(self, indent: int | None = 1) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        status = "OK" if self.ok else "FAIL"
+        return (
+            f"fuzz {status}: {self.cells_run}/{self.cells_total} cells, "
+            f"{len(self.crashes)} crashes, {len(self.violations)} violations "
+            f"in {self.duration_s:.1f}s (seed {self.seed}, budget {self.budget})"
+        )
+
+
+def _stat_subsample(combo: tuple[str, str, str, str], seed: int) -> bool:
+    """Deterministic 1-in-N pick of combos for smoke-tier statistics."""
+    digest = zlib.crc32("/".join(combo).encode())
+    return (digest + seed) % _SMOKE_STAT_MODULUS == 0
+
+
+def run_fuzz(
+    *,
+    seed: int = 0,
+    budget: str = "smoke",
+    patterns: Sequence[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Fuzz the scenario matrix and return the aggregated report.
+
+    ``patterns`` restricts the matrix to cells whose
+    ``code/decoder/policy/noise/mode`` key matches any of the globs.
+    """
+    started = time.perf_counter()
+    cells = enumerate_cells(patterns=patterns)
+    total = len(cells)
+
+    if budget not in ("smoke", "full"):
+        try:
+            limit = int(budget)
+        except ValueError:
+            raise ValueError(
+                f"budget must be 'smoke', 'full' or an integer, got {budget!r}"
+            ) from None
+        if limit <= 0:
+            raise ValueError("an integer budget must be positive")
+        shuffled = list(cells)
+        random.Random(seed).shuffle(shuffled)
+        cells = shuffled[:limit]
+
+    cache = RunCache()
+    stats_done: set[tuple[str, str, str, str]] = set()
+    results: list[CellResult] = []
+
+    for index, cell in enumerate(cells):
+        result = CellResult(cell=cell.key)
+        cell_started = time.perf_counter()
+        config = None
+        checks: list[tuple[str, Callable[[], list[str]]]] = []
+        try:
+            config = cell_config(cell, small_instance(cell, seed))
+        except Exception as error:  # noqa: BLE001 - crash freedom is the tier
+            result.status = "crash"
+            result.tiers["config"] = "crash"
+            result.error = f"{type(error).__name__}: {error}"
+            result.traceback = traceback.format_exc()
+        if config is not None:
+            checks.append(("schema", lambda: check_schema(config)))
+            checks.append(
+                ("bit_identity", lambda: check_bit_identity(cell, config, cache))
+            )
+            run_stats = budget == "full" or _stat_subsample(cell.combo, seed)
+            if run_stats and cell.combo not in stats_done:
+                stats_done.add(cell.combo)
+                checks.append(("statistics", lambda: check_statistics(config, cache)))
+        for tier, check in checks:
+            try:
+                found = check()
+            except Exception as error:  # noqa: BLE001 - crash freedom is the tier
+                result.status = "crash"
+                result.tiers[tier] = "crash"
+                result.error = f"{type(error).__name__}: {error}"
+                result.traceback = traceback.format_exc()
+                break
+            if found:
+                result.status = "violation"
+                result.tiers[tier] = "violation"
+                result.violations.extend(f"{tier}: {message}" for message in found)
+            else:
+                result.tiers[tier] = "ok"
+        result.duration_ms = (time.perf_counter() - cell_started) * 1e3
+        results.append(result)
+        if progress is not None and (index + 1) % 100 == 0:
+            progress(f"[{index + 1}/{len(cells)}] {cell.key}")
+
+    return FuzzReport(
+        seed=seed,
+        budget=budget,
+        cells_total=total,
+        cells_run=len(cells),
+        results=results,
+        duration_s=time.perf_counter() - started,
+    )

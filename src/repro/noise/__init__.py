@@ -1,5 +1,25 @@
 """Noise model parameters for leakage-aware QEC simulation."""
 
 from .model import NoiseParams, ideal_noise, paper_noise
+from .schedule import (
+    BurstNoiseParams,
+    DriftingNoiseParams,
+    FloodNoiseParams,
+    ScheduledNoiseParams,
+    burst_noise,
+    drifting_noise,
+    flood_noise,
+)
 
-__all__ = ["NoiseParams", "paper_noise", "ideal_noise"]
+__all__ = [
+    "NoiseParams",
+    "paper_noise",
+    "ideal_noise",
+    "ScheduledNoiseParams",
+    "DriftingNoiseParams",
+    "BurstNoiseParams",
+    "FloodNoiseParams",
+    "drifting_noise",
+    "burst_noise",
+    "flood_noise",
+]

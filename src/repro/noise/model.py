@@ -49,6 +49,11 @@ class NoiseParams:
         of ``p`` (SWAP-based LRCs cost roughly two extra entangling gates).
     lrc_leakage_factor:
         Leakage induced by one LRC gadget, as a multiple of ``p_leak``.
+    gate_error_factor:
+        Multiplier on the two-qubit depolarising error applied after each
+        entangling gate (the gate error is ``gate_error_factor * p``, capped
+        at 0.5).  1.0 reproduces the paper's model; time-structured presets
+        raise it during correlated burst windows.
     lrc_removal_prob:
         Probability that an LRC applied to a genuinely leaked qubit returns
         it to the computational subspace.
@@ -67,6 +72,7 @@ class NoiseParams:
     leakage_ratio: float = 0.1
     mlr_error_factor: float = 10.0
     leakage_mobility: float = 0.1
+    gate_error_factor: float = 1.0
     lrc_error_factor: float = 2.0
     lrc_leakage_factor: float = 1.0
     lrc_removal_prob: float = 1.0
@@ -79,6 +85,7 @@ class NoiseParams:
             "leakage_ratio",
             "mlr_error_factor",
             "leakage_mobility",
+            "gate_error_factor",
             "lrc_error_factor",
             "lrc_leakage_factor",
             "lrc_removal_prob",
@@ -109,6 +116,11 @@ class NoiseParams:
         return min(0.5, self.mlr_error_factor * self.p)
 
     @property
+    def gate_error(self) -> float:
+        """Two-qubit depolarising error per entangling gate, capped at 0.5."""
+        return min(0.5, self.gate_error_factor * self.p)
+
+    @property
     def lrc_gate_error(self) -> float:
         """Depolarising error probability applied by one LRC gadget."""
         return min(0.5, self.lrc_error_factor * self.p)
@@ -124,6 +136,26 @@ class NoiseParams:
     def with_(self, **changes) -> "NoiseParams":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    # ------------------------------------------------------------------ #
+    # Time structure (overridden by scheduled presets)
+    # ------------------------------------------------------------------ #
+    @property
+    def is_time_structured(self) -> bool:
+        """Whether the parameters vary from round to round."""
+        return False
+
+    def params_for_round(self, round_index: int) -> "NoiseParams":
+        """The effective (flat) parameters of one QEC round.
+
+        The base model is stationary, so this returns ``self``.  Scheduled
+        presets (:mod:`repro.noise.schedule`) override it with a
+        *deterministic* function of the round index; the returned object
+        must keep the zero-ness of every probability identical to the base
+        parameters, because the simulator's draw plan decides which RNG
+        draws exist per round from exactly those zero tests.
+        """
+        return self
 
     def describe(self) -> str:
         """Short human-readable parameter summary."""

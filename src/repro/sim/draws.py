@@ -94,6 +94,11 @@ class DrawPlan:
     ``body`` runs every round; ``lrc_data`` / ``lrc_anc`` are prepended when
     the round's pending-LRC flags say so; ``final`` runs once after the last
     round.  ``shapes`` maps shape ids to ``(shots, n)`` tuples.
+
+    Time-structured noise (``NoiseParams.is_time_structured``) sets
+    ``bodies`` — one pre-compiled body per round, indexed by round number —
+    in which case ``body`` is ignored.  Stationary runs leave ``bodies`` as
+    ``None`` and execute the identical schedule they always have.
     """
 
     shapes: list[tuple[int, int]] = field(default_factory=list)
@@ -101,6 +106,7 @@ class DrawPlan:
     lrc_anc: list[DrawOp] = field(default_factory=list)
     body: list[DrawOp] = field(default_factory=list)
     final: list[DrawOp] = field(default_factory=list)
+    bodies: list[list[DrawOp]] | None = None
 
     def shape_id(self, shape: tuple[int, int]) -> int:
         """Intern ``shape`` and return its id."""
@@ -110,14 +116,16 @@ class DrawPlan:
             self.shapes.append(shape)
             return len(self.shapes) - 1
 
-    def round_ops(self, lrc_data_any: bool, lrc_anc_any: bool) -> list[DrawOp]:
+    def round_ops(
+        self, lrc_data_any: bool, lrc_anc_any: bool, round_index: int = 0
+    ) -> list[DrawOp]:
         """The ops of one round given the two per-round LRC flags."""
         ops: list[DrawOp] = []
         if lrc_data_any:
             ops.extend(self.lrc_data)
         if lrc_anc_any:
             ops.extend(self.lrc_anc)
-        ops.extend(self.body)
+        ops.extend(self.body if self.bodies is None else self.bodies[round_index])
         return ops
 
 
@@ -265,11 +273,13 @@ class SerialDrawSource:
         self._cursor = [0] * len(plan.shapes)
         self._pending: list[DrawOp] = []
         self._index = 0
+        self._round = 0
 
     # -- schedule driving ------------------------------------------------
     def start_round(self, lrc_data_any: bool, lrc_anc_any: bool) -> None:
         """Declare the next round's conditional segments."""
-        self._pending = self._plan.round_ops(lrc_data_any, lrc_anc_any)
+        self._pending = self._plan.round_ops(lrc_data_any, lrc_anc_any, self._round)
+        self._round += 1
         self._index = 0
 
     def start_final(self) -> None:
@@ -330,11 +340,11 @@ class PipelinedDrawSource:
     # -- worker ----------------------------------------------------------
     def _work(self) -> None:
         try:
-            for _ in range(self._rounds):
+            for round_index in range(self._rounds):
                 flags = self._get(self._flags)
                 if flags is None:
                     return
-                for op in self._plan.round_ops(*flags):
+                for op in self._plan.round_ops(*flags, round_index):
                     if not self._produce(op):
                         return
             for op in self._plan.final:

@@ -349,7 +349,7 @@ class LeakageSimulator:
             emits_ancilla_lrc=self.policy.emits_ancilla_lrc,
         )
 
-    def _build_draw_plan(self, shots: int) -> DrawPlan:
+    def _build_draw_plan(self, shots: int, rounds: int) -> DrawPlan:
         """Declare the run's per-round RNG schedule (the frozen contract).
 
         Every entry mirrors one ``Generator`` call of the baseline
@@ -357,6 +357,12 @@ class LeakageSimulator:
         baseline skips entirely (``p <= 0`` guards) are omitted, while
         unconditional draws with degenerate probabilities stay in the plan
         and are satisfied by ``BitGenerator.advance`` plus a constant mask.
+
+        Stationary noise compiles one shared ``body``; time-structured noise
+        compiles one body per round from that round's effective parameters
+        (distinct epochs only — identical epochs share the same op list).
+        Schedules preserve zero-ness, so per-round bodies contain the same
+        *set* of draws as the stationary body, just different thresholds.
         """
         noise, gadget = self.noise, self.gadget
         plan = DrawPlan()
@@ -383,6 +389,29 @@ class LeakageSimulator:
         plan.lrc_data = lrc_segment(data, with_flips=True)
         plan.lrc_anc = lrc_segment(anc, with_flips=False)
 
+        if noise.is_time_structured:
+            plan.bodies = []
+            compiled: dict = {}
+            for round_index in range(rounds):
+                round_noise = noise.params_for_round(round_index)
+                body = compiled.get(round_noise)
+                if body is None:
+                    body = self._plan_round_body(plan, round_noise, shots, data, anc)
+                    compiled[round_noise] = body
+                plan.bodies.append(body)
+        else:
+            plan.body = self._plan_round_body(plan, noise, shots, data, anc)
+
+        final = [DrawOp("bern", data, threshold=noise.p)]
+        if noise.readout_leak_random:
+            final.append(DrawOp("bern", data, threshold=0.5))
+        plan.final = final
+        return plan
+
+    def _plan_round_body(
+        self, plan: DrawPlan, noise, shots: int, data: int, anc: int
+    ) -> list[DrawOp]:
+        """One round's fixed draw schedule for the given (flat) parameters."""
         body: list[DrawOp] = []
         if noise.p > 0:  # depolarize_data
             body.append(DrawOp("bern", data, threshold=noise.p))
@@ -404,7 +433,7 @@ class LeakageSimulator:
             layer = plan.shape_id((shots, len(anc_idx)))
             body.append(DrawOp("bern", layer, threshold=noise.leakage_mobility))
             body.extend(DrawOp("bern", layer, threshold=0.5) for _ in range(4))
-            body.append(DrawOp("bern", layer, threshold=noise.p))
+            body.append(DrawOp("bern", layer, threshold=noise.gate_error))
             body.append(DrawOp("randint", layer, low=1, high=16))
             body.append(DrawOp("bern", layer, threshold=noise.p_leak))
             body.append(DrawOp("bern", layer, threshold=noise.p_leak))
@@ -414,13 +443,7 @@ class LeakageSimulator:
         if self.policy.uses_mlr:
             body.append(DrawOp("bern", anc, threshold=noise.mlr_error))
             body.append(DrawOp("bern", anc, threshold=noise.p))
-        plan.body = body
-
-        final = [DrawOp("bern", data, threshold=noise.p)]
-        if noise.readout_leak_random:
-            final.append(DrawOp("bern", data, threshold=0.5))
-        plan.final = final
-        return plan
+        return body
 
     # ------------------------------------------------------------------ #
     # Phase instrumentation (tools/profile_sim.py)
@@ -484,7 +507,7 @@ class LeakageSimulator:
         ws = self._make_workspace(shots)
         prefetch = os.environ.get("REPRO_SIM_PREFETCH", "") or self.options.rng_prefetch
         source = make_draw_source(
-            rng, self._build_draw_plan(shots), rounds, shots, prefetch
+            rng, self._build_draw_plan(shots, rounds), rounds, shots, prefetch
         )
         detector_history = (
             np.zeros((shots, rounds, len(self._z_stab_indices)), dtype=bool)
@@ -543,7 +566,10 @@ class LeakageSimulator:
         detector_history: np.ndarray | None,
         pattern_histogram: dict[int, dict[int, tuple[int, int]]],
     ) -> tuple[RoundRecord, np.ndarray]:
-        noise = self.noise
+        # Time-structured presets swap in this round's effective parameters;
+        # the schedule preserves zero-ness, so the conditional draws consumed
+        # below stay aligned with the per-round plan body.
+        noise = self.noise.params_for_round(round_index)
         shots = state.shots
         timing = self._phase_ns
         tick = time.perf_counter_ns() if timing is not None else 0

@@ -1,6 +1,16 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
+from hypothesis import settings
+
+# Importing tests.strategies registers the "ci" and "nightly" hypothesis
+# profiles; load one before any test module is imported so per-test
+# @settings decorators inherit the right defaults.
+import strategies  # noqa: F401  (registers profiles on import)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 from repro.codes import bpc_code, color_code, hypergraph_product_code, surface_code
 from repro.core import CalibrationData, GraphModelConfig

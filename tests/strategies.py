@@ -1,0 +1,134 @@
+"""Shared hypothesis strategies and profiles for the whole test suite.
+
+Importing this module registers the two suite-wide hypothesis profiles:
+
+``ci``
+    Derandomized (a pinned example sequence — the same inputs on every
+    machine, so CI can never flake on an unlucky draw), moderate example
+    counts, no deadline.  ``tests/conftest.py`` loads it by default.
+``nightly``
+    Randomized with large example counts for the unbounded soak job.
+    Select it with ``HYPOTHESIS_PROFILE=nightly``.
+
+The strategies below are the vocabulary both ``tests/test_properties.py``
+and the scenario-fuzz tier (``tests/test_fuzz.py``) draw from.  The
+scenario strategies read the component registries at draw time, so a code
+family registered inside a test is immediately reachable from a property
+test as well as from the fuzz matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+
+from repro.fuzz import EXECUTION_MODES, ScenarioCell, SmallInstance, cell_config
+
+__all__ = [
+    "bit_widths",
+    "bit_patterns",
+    "gf2_matrices",
+    "stabilizer_supports",
+    "group_bases_lists",
+    "scenario_cells",
+    "small_instances",
+    "fuzz_configs",
+]
+
+settings.register_profile(
+    "ci", derandomize=True, max_examples=25, deadline=None, print_blob=True
+)
+settings.register_profile("nightly", max_examples=400, deadline=None, print_blob=True)
+
+
+# --------------------------------------------------------------------------- #
+# Bit-pattern vocabulary (repro.core.patterns)
+# --------------------------------------------------------------------------- #
+def bit_widths(max_width: int = 10) -> st.SearchStrategy[int]:
+    """A syndrome-pattern width, as used by the pattern utilities."""
+    return st.integers(min_value=1, max_value=max_width)
+
+
+@st.composite
+def bit_patterns(draw, max_width: int = 10) -> tuple[int, int]:
+    """``(value, width)`` with ``value`` representable in ``width`` bits."""
+    width = draw(bit_widths(max_width))
+    value = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    return value, width
+
+
+# --------------------------------------------------------------------------- #
+# GF(2) linear algebra
+# --------------------------------------------------------------------------- #
+@st.composite
+def gf2_matrices(draw, max_rows: int = 6, max_cols: int = 8) -> np.ndarray:
+    """A dense 0/1 matrix, seeded so shrinking stays deterministic."""
+    rows = draw(st.integers(min_value=1, max_value=max_rows))
+    cols = draw(st.integers(min_value=1, max_value=max_cols))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return np.random.default_rng(seed).integers(0, 2, size=(rows, cols))
+
+
+# --------------------------------------------------------------------------- #
+# Scheduling and graph-model inputs
+# --------------------------------------------------------------------------- #
+def stabilizer_supports(
+    max_qubit: int = 15, max_weight: int = 6, max_stabilizers: int = 12
+) -> st.SearchStrategy[list[tuple[int, ...]]]:
+    """Stabilizer support lists as fed to ``assign_conflict_free_slots``."""
+    support = st.lists(
+        st.integers(min_value=0, max_value=max_qubit),
+        min_size=1,
+        max_size=max_weight,
+        unique=True,
+    ).map(tuple)
+    return st.lists(support, min_size=1, max_size=max_stabilizers)
+
+
+def group_bases_lists(max_groups: int = 4) -> st.SearchStrategy[list[tuple[str, ...]]]:
+    """Per-group measurement bases, as consumed by ``QubitContext`` groups."""
+    bases = st.sampled_from([("Z",), ("X",), ("Z", "X")])
+    return st.lists(bases, min_size=1, max_size=max_groups)
+
+
+# --------------------------------------------------------------------------- #
+# Scenario matrix (repro.fuzz)
+# --------------------------------------------------------------------------- #
+@st.composite
+def scenario_cells(draw, modes=EXECUTION_MODES) -> ScenarioCell:
+    """One cell of the live scenario matrix.
+
+    Reads the registries at draw time (not at import), so components
+    registered mid-test are drawable without reloading anything.
+    """
+    from repro.api.registry import all_registries
+
+    registries = all_registries()
+    return ScenarioCell(
+        code=draw(st.sampled_from(registries["codes"].names())),
+        decoder=draw(st.sampled_from(registries["decoders"].names())),
+        policy=draw(st.sampled_from(registries["policies"].names())),
+        noise=draw(st.sampled_from(registries["noise"].names())),
+        mode=draw(st.sampled_from(list(modes))),
+    )
+
+
+def small_instances() -> st.SearchStrategy[SmallInstance]:
+    """Experiment knobs in the same small ranges the CLI fuzzer samples."""
+    return st.builds(
+        SmallInstance,
+        shots=st.integers(min_value=3, max_value=6),
+        rounds=st.integers(min_value=3, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**16),
+        p=st.sampled_from([2e-3, 4e-3, 8e-3]),
+        leakage_ratio=st.sampled_from([0.5, 1.0]),
+    )
+
+
+@st.composite
+def fuzz_configs(draw, modes=EXECUTION_MODES):
+    """``(cell, config)`` — a scenario cell with a concrete small config."""
+    cell = draw(scenario_cells(modes=modes))
+    config = cell_config(cell, draw(small_instances()))
+    return cell, config

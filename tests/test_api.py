@@ -30,9 +30,11 @@ from repro.noise import paper_noise
 # Registry mechanism
 # --------------------------------------------------------------------- #
 def test_registries_cover_the_stock_components():
-    assert set(CODES.names()) == {"surface", "color", "hgp", "bpc"}
+    assert set(CODES.names()) == {"surface", "color", "hgp", "bpc", "toric"}
     assert set(DECODERS.names()) == {"matching", "union_find"}
-    assert set(NOISE_PRESETS.names()) == {"paper", "ideal", "custom"}
+    assert set(NOISE_PRESETS.names()) == {
+        "paper", "ideal", "custom", "drift", "bursts", "floods",
+    }
     assert set(POLICIES.names()) == set(POLICY_NAMES)
 
 

@@ -1,0 +1,221 @@
+"""The scenario-matrix fuzzer: harness behaviour, CI smoke tier, regressions.
+
+Three groups:
+
+* harness mechanics — enumeration, budgets, report serialization, and the
+  plugin contract (a code registered inside a test is fuzzed with no
+  fuzzer changes);
+* the CI smoke gate — a seed-shuffled bounded slice of the full matrix
+  (the unbounded soak runs nightly via ``python -m repro fuzz``);
+* regressions for bugs the first full-matrix runs flushed out: the
+  union-find cluster-growth stall and the exact-matching DP dead end on
+  detector graphs with no reachable boundary (periodic codes).
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from strategies import fuzz_configs
+
+from repro.api.registry import CODES
+from repro.codes import surface_code, toric_code
+from repro.decoders import DetectorGraph, MatchingDecoder, UnionFindDecoder
+from repro.fuzz import (
+    EXECUTION_MODES,
+    ScenarioCell,
+    check_schema,
+    cell_config,
+    enumerate_cells,
+    run_fuzz,
+    small_distance,
+    small_instance,
+)
+from repro.noise import paper_noise
+
+
+# --------------------------------------------------------------------------- #
+# Matrix enumeration
+# --------------------------------------------------------------------------- #
+def test_matrix_is_the_full_registry_cross_product():
+    from repro.api.registry import all_registries
+
+    registries = all_registries()
+    expected = (
+        len(registries["codes"].names())
+        * len(registries["decoders"].names())
+        * len(registries["policies"].names())
+        * len(registries["noise"].names())
+        * len(EXECUTION_MODES)
+    )
+    cells = enumerate_cells()
+    assert len(cells) == expected
+    assert len({cell.key for cell in cells}) == expected
+
+
+def test_pattern_filters_select_cells():
+    cells = enumerate_cells(patterns=["toric/*/eraser/paper/*"])
+    assert cells
+    assert all(
+        cell.code == "toric" and cell.policy == "eraser" and cell.noise == "paper"
+        for cell in cells
+    )
+    assert {cell.mode for cell in cells} == set(EXECUTION_MODES)
+
+
+def test_instances_are_deterministic_per_seed_and_vary_across_cells():
+    cell_a = ScenarioCell("toric", "matching", "eraser", "paper", "offline")
+    cell_b = ScenarioCell("toric", "matching", "eraser", "paper", "windowed")
+    assert small_instance(cell_a, 7) == small_instance(cell_a, 7)
+    assert small_instance(cell_a, 7) != small_instance(cell_a, 8) or small_instance(
+        cell_b, 7
+    ) != small_instance(cell_b, 8)
+
+
+def test_registered_dummy_code_is_picked_up_without_fuzzer_changes():
+    CODES.add(
+        "dummy-lattice",
+        lambda distance: surface_code(distance),
+        default_distance=3,
+        description="test-only plugin family",
+    )
+    try:
+        cells = enumerate_cells(patterns=["dummy-lattice/*"])
+        assert cells, "a freshly registered code must appear in the matrix"
+        report = run_fuzz(patterns=["dummy-lattice/matching/no-lrc/paper/*"])
+        assert report.cells_run == len(EXECUTION_MODES)
+        assert report.ok, report.describe()
+    finally:
+        CODES.unregister("dummy-lattice")
+    assert not enumerate_cells(patterns=["dummy-lattice/*"])
+
+
+def test_small_distance_probes_new_families_fresh():
+    # An odd-only family must be sized by probing, not assumed.
+    def odd_only(distance):
+        if distance % 2 == 0:
+            raise ValueError("odd distances only")
+        return surface_code(distance)
+
+    CODES.add("odd-only", odd_only, default_distance=5)
+    try:
+        assert small_distance("odd-only") == 3
+    finally:
+        CODES.unregister("odd-only")
+
+
+# --------------------------------------------------------------------------- #
+# Schema tier on hypothesis-drawn cells (shared strategies)
+# --------------------------------------------------------------------------- #
+@given(fuzz_configs())
+@settings(max_examples=15, deadline=None)
+def test_schema_tier_holds_on_random_cells(cell_and_config):
+    _, config = cell_and_config
+    assert check_schema(config) == []
+
+
+# --------------------------------------------------------------------------- #
+# Harness + report
+# --------------------------------------------------------------------------- #
+def test_report_serializes_and_counts(tmp_path):
+    report = run_fuzz(patterns=["toric/union_find/ideal/ideal/*"], seed=3)
+    assert report.cells_run == len(EXECUTION_MODES)
+    payload = json.loads(report.to_json())
+    assert payload["cells_run"] == report.cells_run
+    assert payload["crashes"] == 0 and payload["violations"] == 0
+    assert {r["cell"] for r in payload["results"]} == {
+        r.cell for r in report.results
+    }
+    assert "fuzz OK" in report.describe()
+
+
+def test_integer_budget_bounds_the_run():
+    report = run_fuzz(budget="5", patterns=["surface/*", "color/*", "toric/*"])
+    assert report.cells_run == 5
+    assert report.cells_total > 5
+    assert report.ok, report.describe()
+
+
+def test_budget_rejects_garbage():
+    with pytest.raises(ValueError):
+        run_fuzz(budget="lots")
+    with pytest.raises(ValueError):
+        run_fuzz(budget="0")
+
+
+def test_crash_is_filed_not_raised():
+    def explode(distance):
+        raise RuntimeError("boom at build time")
+
+    CODES.add("broken-family", explode, default_distance=3)
+    try:
+        report = run_fuzz(patterns=["broken-family/matching/no-lrc/paper/offline"])
+        assert report.cells_run == 1
+        assert len(report.crashes) == 1
+        assert not report.ok
+        result = report.crashes[0]
+        assert "boom at build time" in (result.error or "")
+        assert result.traceback
+    finally:
+        CODES.unregister("broken-family")
+
+
+# --------------------------------------------------------------------------- #
+# The CI smoke gate: a bounded seed-shuffled slice of the full matrix
+# --------------------------------------------------------------------------- #
+def test_fuzz_smoke_slice_of_full_matrix():
+    budget = os.environ.get("FUZZ_SMOKE_BUDGET", "40")
+    report = run_fuzz(seed=int(os.environ.get("FUZZ_SMOKE_SEED", "0")), budget=budget)
+    assert report.ok, report.describe() + "".join(
+        f"\n  {r.cell}: {r.violations or r.error}"
+        for r in report.crashes + report.violations
+    )
+
+
+@pytest.mark.skipif(
+    not os.environ.get("FUZZ_NIGHTLY"), reason="unbounded soak runs nightly"
+)
+def test_fuzz_full_matrix_soak():
+    report = run_fuzz(budget="full")
+    assert report.ok, report.describe()
+
+
+# --------------------------------------------------------------------------- #
+# Fuzzer-found regressions (periodic detector graphs have no boundary)
+# --------------------------------------------------------------------------- #
+def _odd_unreachable_syndrome(graph):
+    """One fired detector: odd parity, and toric graphs have no boundary."""
+    rounds = graph.num_layers - 1
+    history = np.zeros((rounds, graph.num_z_stabs), dtype=bool)
+    history[1, 0] = True
+    final = np.zeros(graph.num_z_stabs, dtype=bool)
+    return history, final
+
+
+def test_union_find_stalls_resolve_on_boundaryless_graphs():
+    # Before the stall fix this spun to the iteration cap and raised
+    # "union-find cluster growth did not converge".
+    graph = DetectorGraph(code=toric_code(2), rounds=3, noise=paper_noise())
+    assert not any(edge.kind == "boundary" for edge in graph.edges)
+    decoder = UnionFindDecoder(graph)
+    history, final = _odd_unreachable_syndrome(graph)
+    assert decoder.decode_shot(history, final) in (0, 1)
+
+
+def test_matching_falls_back_when_no_completion_is_finite():
+    # Before the DP fallback this crashed unpacking choice[-1] (None).
+    graph = DetectorGraph(code=toric_code(2), rounds=3, noise=paper_noise())
+    decoder = MatchingDecoder(graph)
+    history, final = _odd_unreachable_syndrome(graph)
+    assert decoder.decode_shot(history, final) in (0, 1)
+
+
+def test_toric_cells_decode_identically_across_paths():
+    cell = ScenarioCell("toric", "union_find", "gladiator", "bursts", "sweep-shard")
+    config = cell_config(cell, small_instance(cell, 11))
+    from repro.fuzz.invariants import RunCache, check_bit_identity
+
+    assert check_bit_identity(cell, config, RunCache()) == []

@@ -18,11 +18,10 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.codes import color_code, surface_code
+from repro.api.registry import NOISE_PRESETS
 from repro.core import make_policy
 from repro.decoders import DetectorGraph, make_decoder
-from repro.experiments import MemoryExperiment
-from repro.noise import paper_noise
+from repro.experiments import MemoryExperiment, make_code
 from repro.sim import LeakageSimulator, SimulatorOptions
 
 FIXTURES_DIR = Path(__file__).parent / "fixtures"
@@ -34,18 +33,25 @@ def _load(path):
 
 
 def _build_code(scenario):
-    maker = surface_code if scenario["family"] == "surface" else color_code
-    return maker(scenario["distance"])
+    return make_code(scenario["family"], scenario["distance"])
 
 
 def _noise(scenario):
-    return paper_noise(p=scenario["p"], leakage_ratio=scenario["leakage_ratio"])
+    preset = NOISE_PRESETS.get(scenario["noise"]).obj
+    return preset(p=scenario["p"], leakage_ratio=scenario["leakage_ratio"])
 
 
 def test_fixture_set_is_present():
     """The golden set must never silently disappear (e.g. packaging slip)."""
     names = {path.name for path in FIXTURE_PATHS}
-    assert {"golden_surface_d3_eraser.json", "golden_color_d3_gladiator.json"} <= names
+    assert {
+        "golden_surface_d3_eraser.json",
+        "golden_color_d3_gladiator.json",
+        "golden_toric_d3_eraser.json",
+        "golden_surface_d3_drift.json",
+        "golden_surface_d3_bursts.json",
+        "golden_toric_d3_floods.json",
+    } <= names
 
 
 @pytest.mark.parametrize("path", FIXTURE_PATHS, ids=lambda p: p.stem)

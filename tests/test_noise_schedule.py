@@ -1,0 +1,177 @@
+"""Time-structured noise presets: schedules, zero-ness, and RNG invariance.
+
+The contract under test: a scheduled preset is a deterministic function of
+the round index, applies strictly positive multiplicative factors (so it
+can never create probability mass where the stationary base has none), and
+runs bit-identically through the serial and prefetch draw pipelines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.noise import (
+    BurstNoiseParams,
+    DriftingNoiseParams,
+    FloodNoiseParams,
+    NoiseParams,
+    burst_noise,
+    drifting_noise,
+    flood_noise,
+    ideal_noise,
+    paper_noise,
+)
+
+
+# --------------------------------------------------------------------------- #
+# The stationary base: trivially time-structured
+# --------------------------------------------------------------------------- #
+def test_plain_params_are_stationary():
+    noise = paper_noise()
+    assert not noise.is_time_structured
+    assert noise.params_for_round(0) is noise
+    assert noise.params_for_round(10**6) is noise
+
+
+def test_gate_error_factor_scales_and_caps():
+    noise = paper_noise(p=1e-3)
+    assert noise.gate_error == 1e-3
+    scaled = noise.with_(gate_error_factor=8.0)
+    assert scaled.gate_error == pytest.approx(8e-3)
+    assert noise.with_(gate_error_factor=10**6).gate_error == 0.5
+    with pytest.raises(ValueError):
+        noise.with_(gate_error_factor=-1.0)
+
+
+# --------------------------------------------------------------------------- #
+# Schedule shapes
+# --------------------------------------------------------------------------- #
+def test_burst_raises_only_the_gate_error():
+    noise = burst_noise(p=1e-3, burst_period=5, burst_rounds=2, burst_gate_factor=8.0)
+    assert noise.is_time_structured
+    quiet = noise.params_for_round(4)
+    loud = noise.params_for_round(5)
+    assert not quiet.is_time_structured and not loud.is_time_structured
+    assert loud.gate_error == pytest.approx(8 * quiet.gate_error)
+    assert loud.p == quiet.p
+    assert loud.leakage_ratio == quiet.leakage_ratio
+    # The burst window sits at the start of each period.
+    loud_rounds = [r for r in range(10) if noise.params_for_round(r).gate_error > quiet.gate_error]
+    assert loud_rounds == [0, 1, 5, 6]
+
+
+def test_flood_raises_only_the_leakage_rate():
+    noise = flood_noise(p=1e-3, leakage_ratio=0.1, flood_period=4, flood_rounds=1, flood_leak_factor=25.0)
+    quiet = noise.params_for_round(1)
+    flood = noise.params_for_round(4)
+    assert flood.leakage_ratio == pytest.approx(25 * quiet.leakage_ratio)
+    assert flood.p == quiet.p
+    assert flood.gate_error == quiet.gate_error
+
+
+def test_flood_caps_the_leakage_probability():
+    noise = flood_noise(p=1e-2, leakage_ratio=1.0, flood_leak_factor=10**6)
+    flood = noise.params_for_round(0)
+    assert 0.0 <= flood.leakage_ratio * flood.p <= 1.0
+
+
+def test_drift_is_piecewise_constant_and_deterministic():
+    noise = drifting_noise(p=1e-3, drift_epoch_rounds=3, drift_factor=2.0)
+    epoch0 = [noise.params_for_round(r) for r in range(3)]
+    epoch1 = [noise.params_for_round(r) for r in range(3, 6)]
+    assert len({params.p for params in epoch0}) == 1
+    assert len({params.p for params in epoch1}) == 1
+    # Different epochs drift differently (with overwhelming probability for
+    # these seeds), and the same round always yields the same parameters.
+    assert epoch0[0].p != epoch1[0].p or epoch0[0].leakage_ratio != epoch1[0].leakage_ratio
+    again = drifting_noise(p=1e-3, drift_epoch_rounds=3, drift_factor=2.0)
+    assert again.params_for_round(4) == noise.params_for_round(4)
+
+
+def test_drift_seed_changes_the_schedule():
+    base = DriftingNoiseParams(p=1e-3, drift_seed=0)
+    other = DriftingNoiseParams(p=1e-3, drift_seed=1)
+    assert base.params_for_round(0) != other.params_for_round(0)
+
+
+# --------------------------------------------------------------------------- #
+# Zero-ness: schedules must never create probability out of nothing
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "cls", [DriftingNoiseParams, BurstNoiseParams, FloodNoiseParams]
+)
+def test_schedules_preserve_zero_probabilities(cls):
+    noiseless = cls(p=0.0, leakage_ratio=0.0)
+    for round_index in range(30):
+        params = noiseless.params_for_round(round_index)
+        assert params.p == 0.0
+        assert params.leakage_ratio == 0.0
+        assert params.gate_error == 0.0
+
+
+def test_flat_strips_the_schedule():
+    noise = BurstNoiseParams(p=1e-3, burst_period=3)
+    flat = noise.flat()
+    assert type(flat) is NoiseParams
+    assert not flat.is_time_structured
+    assert flat.p == noise.p
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        BurstNoiseParams(burst_period=0)
+    with pytest.raises(ValueError):
+        BurstNoiseParams(burst_period=3, burst_rounds=4)
+    with pytest.raises(ValueError):
+        FloodNoiseParams(flood_leak_factor=0.0)
+    with pytest.raises(ValueError):
+        DriftingNoiseParams(drift_factor=0.5)
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end: scheduled presets through the simulator
+# --------------------------------------------------------------------------- #
+def _run(noise, prefetch):
+    from repro.codes import surface_code
+    from repro.core import make_policy
+    from repro.sim import LeakageSimulator, SimulatorOptions
+
+    simulator = LeakageSimulator(
+        code=surface_code(3),
+        noise=noise,
+        policy=make_policy("eraser"),
+        options=SimulatorOptions(record_detectors=True, rng_prefetch=prefetch),
+        seed=7,
+    )
+    return simulator.run(shots=12, rounds=9)
+
+
+@pytest.mark.parametrize(
+    "preset",
+    [
+        lambda: drifting_noise(p=4e-3, drift_epoch_rounds=3),
+        lambda: burst_noise(p=4e-3, burst_period=3, burst_rounds=1),
+        lambda: flood_noise(p=4e-3, flood_period=3, flood_rounds=1),
+    ],
+    ids=["drift", "bursts", "floods"],
+)
+def test_scheduled_runs_are_prefetch_invariant(preset):
+    serial = _run(preset(), "off")
+    threaded = _run(preset(), "on")
+    assert np.array_equal(serial.detector_history, threaded.detector_history)
+    assert np.array_equal(serial.final_detectors, threaded.final_detectors)
+    assert np.array_equal(serial.observable_flips, threaded.observable_flips)
+
+
+def test_floods_inject_more_leakage_than_the_stationary_base():
+    stationary = _run(paper_noise(p=4e-3, leakage_ratio=1.0), "off")
+    flooded = _run(
+        flood_noise(p=4e-3, leakage_ratio=1.0, flood_period=3, flood_rounds=1, flood_leak_factor=25.0),
+        "off",
+    )
+    assert flooded.total_leakage_events > stationary.total_leakage_events
+
+
+def test_ideal_noise_stays_noiseless():
+    run = _run(ideal_noise(), "off")
+    assert not run.detector_history.any()
+    assert not run.observable_flips.any()

@@ -1,0 +1,91 @@
+"""The toric code family: periodic lattice structure and end-to-end decoding.
+
+The toric code is the matrix's periodic-boundary stressor: its detector
+graph has *no* boundary node edges, which is exactly the regime that
+exposed the union-find growth stall and the matching DP dead end (see
+``tests/test_fuzz.py`` for those regressions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.registry import CODES
+from repro.codes import surface_code, toric_code
+from repro.core import make_policy
+from repro.decoders import DetectorGraph, make_decoder
+from repro.experiments import MemoryExperiment
+from repro.noise import paper_noise
+
+
+@pytest.mark.parametrize("distance", [2, 3, 4])
+def test_toric_counts(distance):
+    code = toric_code(distance)
+    assert code.num_data == 2 * distance**2
+    assert code.num_logical_qubits == 2
+    z_stabs = [s for s in code.stabilizers if s.basis == "Z"]
+    x_stabs = [s for s in code.stabilizers if s.basis == "X"]
+    assert len(z_stabs) == distance**2
+    assert len(x_stabs) == distance**2
+    assert all(len(s.data_support) == 4 for s in code.stabilizers)
+
+
+@pytest.mark.parametrize("distance", [2, 3, 4])
+def test_toric_css_commutation(distance):
+    code = toric_code(distance)
+    assert not np.any((code.parity_check_x @ code.parity_check_z.T) % 2)
+
+
+@pytest.mark.parametrize("distance", [2, 3])
+def test_toric_every_data_qubit_touches_two_z_stabs(distance):
+    code = toric_code(distance)
+    touches = code.parity_check_z.sum(axis=0)
+    assert np.all(touches == 2), "a periodic lattice has no boundary qubits"
+
+
+def test_toric_detector_graph_has_no_boundary_edges():
+    graph = DetectorGraph(code=toric_code(3), rounds=3, noise=paper_noise())
+    assert not any(edge.kind == "boundary" for edge in graph.edges)
+    # ... unlike the planar surface code, which anchors its matchings there.
+    planar = DetectorGraph(code=surface_code(3), rounds=3, noise=paper_noise())
+    assert any(edge.kind == "boundary" for edge in planar.edges)
+
+
+def test_toric_logicals_commute_with_stabilizers():
+    code = toric_code(3)
+    assert not np.any((code.parity_check_x @ code.logical_z.T) % 2)
+    assert not np.any((code.parity_check_z @ code.logical_x.T) % 2)
+    # Weight-L representatives: one straight loop per direction.
+    assert code.logical_z.sum(axis=-1).min() == 3
+    assert code.logical_x.sum(axis=-1).min() == 3
+
+
+def test_toric_is_registered_with_default_distance():
+    entry = CODES.get("toric")
+    assert entry.metadata.get("default_distance") == 4
+    assert "toric" in CODES.names()
+
+
+@pytest.mark.parametrize("method", ["matching", "union_find"])
+def test_toric_memory_experiment_decodes(method):
+    result = MemoryExperiment(
+        code=toric_code(2),
+        noise=paper_noise(p=2e-3, leakage_ratio=1.0),
+        policy=make_policy("eraser"),
+        decoder_method=method,
+        seed=5,
+    ).run(shots=16, rounds=4)
+    summary = result.summary()
+    assert summary["shots"] == 16
+    assert 0.0 <= summary["ler"] <= 1.0
+    assert summary["ler_low"] <= summary["ler"] <= summary["ler_high"]
+
+
+def test_toric_decoding_is_deterministic():
+    graph = DetectorGraph(code=toric_code(2), rounds=3, noise=paper_noise())
+    rng = np.random.default_rng(2)
+    history = rng.random((8, 3, graph.num_z_stabs)) < 0.15
+    final = rng.random((8, graph.num_z_stabs)) < 0.15
+    for method in ("matching", "union_find"):
+        first = make_decoder(graph, method).decode_batch(history, final)
+        second = make_decoder(graph, method).decode_batch(history, final)
+        assert np.array_equal(first, second)

@@ -23,22 +23,24 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
-from repro.codes import color_code, surface_code  # noqa: E402
+from repro.api.registry import NOISE_PRESETS  # noqa: E402
 from repro.core import make_policy  # noqa: E402
 from repro.decoders import DetectorGraph, make_decoder  # noqa: E402
-from repro.experiments import MemoryExperiment  # noqa: E402
-from repro.noise import paper_noise  # noqa: E402
+from repro.experiments import MemoryExperiment, make_code  # noqa: E402
 from repro.sim import LeakageSimulator, SimulatorOptions  # noqa: E402
 
 FIXTURES_DIR = ROOT / "tests" / "fixtures"
 
 #: The pinned scenarios: small enough to replay in well under a second each,
 #: noisy enough that decoding is non-trivial (failures > 0 at these sizes).
+#: ``family`` and ``noise`` are registry names, so any registered code or
+#: (rate-parameterised) noise preset can be pinned here.
 SCENARIOS = [
     {
         "name": "surface_d3_eraser",
         "family": "surface",
         "distance": 3,
+        "noise": "paper",
         "p": 2e-3,
         "leakage_ratio": 1.0,
         "policy": "eraser+m",
@@ -50,6 +52,7 @@ SCENARIOS = [
         "name": "color_d3_gladiator",
         "family": "color",
         "distance": 3,
+        "noise": "paper",
         "p": 2e-3,
         "leakage_ratio": 1.0,
         "policy": "gladiator+m",
@@ -57,16 +60,65 @@ SCENARIOS = [
         "rounds": 5,
         "seed": 29,
     },
+    {
+        "name": "toric_d3_eraser",
+        "family": "toric",
+        "distance": 3,
+        "noise": "paper",
+        "p": 2e-3,
+        "leakage_ratio": 1.0,
+        "policy": "eraser+m",
+        "shots": 24,
+        "rounds": 5,
+        "seed": 17,
+    },
+    {
+        "name": "surface_d3_drift",
+        "family": "surface",
+        "distance": 3,
+        "noise": "drift",
+        "p": 2e-3,
+        "leakage_ratio": 1.0,
+        "policy": "gladiator+m",
+        "shots": 24,
+        "rounds": 5,
+        "seed": 41,
+    },
+    {
+        "name": "surface_d3_bursts",
+        "family": "surface",
+        "distance": 3,
+        "noise": "bursts",
+        "p": 2e-3,
+        "leakage_ratio": 1.0,
+        "policy": "eraser+m",
+        "shots": 24,
+        "rounds": 5,
+        "seed": 43,
+    },
+    {
+        "name": "toric_d3_floods",
+        "family": "toric",
+        "distance": 3,
+        "noise": "floods",
+        "p": 2e-3,
+        "leakage_ratio": 1.0,
+        "policy": "gladiator+m",
+        "shots": 24,
+        "rounds": 5,
+        "seed": 47,
+    },
 ]
 
 
-def build_code(family: str, distance: int):
-    return surface_code(distance) if family == "surface" else color_code(distance)
+def build_noise(scenario: dict):
+    preset = NOISE_PRESETS.get(scenario["noise"]).obj
+    return preset(p=scenario["p"], leakage_ratio=scenario["leakage_ratio"])
 
 
 def make_fixture(scenario: dict) -> dict:
-    code = build_code(scenario["family"], scenario["distance"])
-    noise = paper_noise(p=scenario["p"], leakage_ratio=scenario["leakage_ratio"])
+    code = make_code(scenario["family"], scenario["distance"])
+    noise = build_noise(scenario)
     policy = make_policy(scenario["policy"])
 
     simulator = LeakageSimulator(
@@ -94,7 +146,7 @@ def make_fixture(scenario: dict) -> dict:
     summaries = {}
     for method in ("matching", "union_find"):
         result = MemoryExperiment(
-            code=build_code(scenario["family"], scenario["distance"]),
+            code=make_code(scenario["family"], scenario["distance"]),
             noise=noise,
             policy=make_policy(scenario["policy"]),
             decoder_method=method,
