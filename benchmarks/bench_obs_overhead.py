@@ -1,0 +1,270 @@
+"""Disabled-telemetry overhead: the instrumented round loop vs a frozen bare one.
+
+The ``repro.obs`` contract is that telemetry costs nothing measurable when
+it is off: a disabled instrument is one attribute load and one branch, and
+the simulator's span hooks reduce to a hoisted ``is not None`` check per
+round.  This benchmark pins that contract.  :class:`BareLeakageSimulator`
+freezes the pre-telemetry ``_run_round`` *verbatim* (phase accounting via
+``self._phase_ns`` only, no tracer hooks) so the baseline cannot drift as
+instrumentation accumulates, then races the instrumented engine against it
+on the same reference configuration ``bench_sim_round.py`` asserts its
+speedup floor on (d=5, 100 rounds, 20k shots, leakage sampling on).
+
+Runs are interleaved and each side takes its min-of-N, which strips
+scheduler jitter; the asserted bound is ``OVERHEAD_CEILING`` (<=2%).  Both
+sides consume the identical RNG stream — telemetry never touches the
+simulation RNG — so the race is also a bit-identity check.  Rows land in
+``results/BENCH_obs.json``.
+"""
+
+import time
+
+import numpy as np
+
+from _common import emit, format_table, run_once, save
+
+from repro.core import make_policy
+from repro.core.speculator import SpeculationInput
+from repro.experiments import make_code
+from repro.noise import paper_noise
+from repro.obs.metrics import METRICS
+from repro.obs.trace import current_tracer
+from repro.sim import LeakageSimulator, SimulatorOptions
+from repro.sim.simulator import (
+    RoundRecord,
+    _pack_register,
+    _unpack_register,
+)
+
+#: The acceptance ceiling: with telemetry disabled, the instrumented round
+#: loop must stay within this factor of the frozen uninstrumented baseline.
+OVERHEAD_CEILING = 1.02
+
+#: Interleaved repetitions per side; min-of-N strips scheduler jitter.
+REPETITIONS = 3
+
+#: The reference configuration of ``bench_sim_round.py``'s speedup floor,
+#: deliberately *not* scaled by REPRO_SCALE: the overhead bound is asserted
+#: on the same workload everywhere, laptop and CI alike.
+FLOOR_DISTANCE = 5
+FLOOR_SHOTS = 20_000
+FLOOR_ROUNDS = 100
+
+
+class BareLeakageSimulator(LeakageSimulator):
+    """The pre-telemetry round loop, frozen for baseline timing.
+
+    ``_run_round`` is the body as it stood before the ``repro.obs`` span
+    hooks landed: phase accounting through the optional ``self._phase_ns``
+    dict only.  The signature is unchanged, so ``run_incremental`` (which
+    now also primes ``self._round_tracer``) drives it as-is — with no
+    tracer active the two engines draw the identical RNG stream.
+    """
+
+    def _run_round(
+        self,
+        state,
+        round_index,
+        ws,
+        source,
+        totals,
+        detector_history,
+        pattern_histogram,
+    ):
+        noise = self.noise.params_for_round(round_index)
+        shots = state.shots
+        timing = self._phase_ns
+        tick = time.perf_counter_ns() if timing is not None else 0
+
+        lrcs_this_round = int(np.count_nonzero(ws.data_lrc))
+        anc_lrcs_this_round = int(np.count_nonzero(ws.anc_lrc))
+        source.start_round(bool(lrcs_this_round), bool(anc_lrcs_this_round))
+        totals["lrc"] += lrcs_this_round
+        totals["anc_lrc"] += anc_lrcs_this_round
+        if lrcs_this_round:
+            self._apply_lrc(
+                ws.data_lrc, state.data_leaked, state.data_x, state.data_z,
+                ws.data, source, totals, return_flips=True,
+            )
+        if anc_lrcs_this_round:
+            self._apply_lrc(
+                ws.anc_lrc, state.anc_leaked, state.anc_x, state.anc_z,
+                ws.anc, source, totals, return_flips=False,
+            )
+
+        state.depolarize_data(noise.p, source=source, scratch=ws.data)
+        totals["leak_events"] += state.inject_data_leakage(
+            noise.p_leak, source=source, scratch=ws.data
+        )
+
+        state.reset_ancillas(
+            noise.p,
+            leakage_removal_probability=noise.ancilla_reset_removes_leakage,
+            source=source,
+            scratch=ws.anc,
+        )
+        totals["leak_events"] += state.inject_ancilla_leakage(
+            noise.p_leak, source=source, scratch=ws.anc
+        )
+        if timing is not None:
+            now = time.perf_counter_ns()
+            timing["noise"] += now - tick
+            tick = now
+
+        _pack_register(ws.data_pack, state.data_x, state.data_z, state.data_leaked, ws.data_u8)
+        _pack_register(ws.anc_pack, state.anc_x, state.anc_z, state.anc_leaked, ws.anc_u8)
+        for layer_index in range(len(self._slot_anc)):
+            totals["leak_events"] += self._apply_cnot_layer(layer_index, ws, source)
+        _unpack_register(ws.data_pack, state.data_x, state.data_z, state.data_leaked, ws.data_u8)
+        _unpack_register(ws.anc_pack, state.anc_x, state.anc_z, state.anc_leaked, ws.anc_u8)
+        if timing is not None:
+            now = time.perf_counter_ns()
+            timing["cnot_layers"] += now - tick
+            tick = now
+
+        self._measure(state, ws, source)
+        np.logical_xor(ws.measurement, state.prev_measurement, out=ws.detectors)
+        if round_index == 0:
+            ws.detectors[:, self._x_stab_indices] = False
+        state.prev_measurement, ws.measurement = ws.measurement, state.prev_measurement
+        z_detectors = ws.detectors[:, self._z_stab_indices]
+        if detector_history is not None:
+            detector_history[:, round_index, :] = z_detectors
+        if timing is not None:
+            now = time.perf_counter_ns()
+            timing["measure"] += now - tick
+            tick = now
+
+        self._extract_patterns(ws.detectors, ws.pattern_a, ws)
+        if ws.mlr_flags is not None and ws.mlr_neighbor is not None:
+            self._mlr_neighbor(ws.mlr_flags, ws.mlr_neighbor, ws)
+        ctx = SpeculationInput(
+            round_index=round_index,
+            pattern_ints=ws.pattern_a,
+            prev_pattern_ints=ws.pattern_b,
+            detectors=ws.detectors,
+            mlr_flags=ws.mlr_flags,
+            mlr_neighbor=ws.mlr_neighbor,
+            data_leaked=state.data_leaked,
+        )
+        self.policy.decide_into(
+            ctx, ws.data_lrc, ws.anc_lrc if ws.emits_ancilla_lrc else None
+        )
+        if timing is not None:
+            now = time.perf_counter_ns()
+            timing["speculate"] += now - tick
+            tick = now
+
+        data = ws.data
+        lrc_u8 = ws.data_lrc.view(np.uint8)
+        leaked_u8 = state.data_leaked.view(np.uint8)
+        np.bitwise_xor(leaked_u8, 1, out=data.t1)
+        np.bitwise_and(lrc_u8, data.t1, out=data.t2)
+        false_positives = int(np.count_nonzero(data.t2))
+        np.bitwise_xor(lrc_u8, 1, out=data.t1)
+        np.bitwise_and(leaked_u8, data.t1, out=data.t2)
+        false_negatives = int(np.count_nonzero(data.t2))
+        np.bitwise_and(lrc_u8, leaked_u8, out=data.t2)
+        true_positives = int(np.count_nonzero(data.t2))
+        totals["fp"] += false_positives
+        totals["fn"] += false_negatives
+        totals["tp"] += true_positives
+
+        if self.options.record_patterns:
+            self._record_patterns(ws.pattern_a, state.data_leaked, pattern_histogram)
+
+        record = RoundRecord(
+            round_index=round_index,
+            data_leakage_population=state.leaked_fraction(),
+            ancilla_leakage_population=float(state.anc_leaked.mean()),
+            lrcs_applied=lrcs_this_round / shots,
+            false_positives=false_positives / shots,
+            false_negatives=false_negatives / shots,
+            true_positives=true_positives / shots,
+        )
+        ws.pattern_a, ws.pattern_b = ws.pattern_b, ws.pattern_a
+        if timing is not None:
+            timing["bookkeeping"] += time.perf_counter_ns() - tick
+        return record, z_detectors
+
+
+# --------------------------------------------------------------------- #
+# Harness
+# --------------------------------------------------------------------- #
+def _build(simulator_cls):
+    return simulator_cls(
+        code=make_code("surface", FLOOR_DISTANCE),
+        noise=paper_noise(p=1e-3, leakage_ratio=0.1),
+        policy=make_policy("gladiator+m"),
+        options=SimulatorOptions(leakage_sampling=True, record_detectors=False),
+        seed=202,
+    )
+
+
+def _timed_run(simulator_cls):
+    simulator = _build(simulator_cls)
+    simulator.run(shots=128, rounds=2)  # prime kernels and policy tables
+    started = time.perf_counter()
+    result = simulator.run(shots=FLOOR_SHOTS, rounds=FLOOR_ROUNDS)
+    return result, time.perf_counter() - started
+
+
+def test_disabled_telemetry_overhead(benchmark):
+    # The whole point is the *disabled* path: fail loudly if something left
+    # telemetry on, because the measurement would be meaningless.
+    assert current_tracer() is None
+    assert not METRICS.enabled
+
+    def workload():
+        bare_seconds = []
+        instrumented_seconds = []
+        reference = None
+        for _ in range(REPETITIONS):
+            # Interleaved A/B: thermal and scheduler drift hits both sides.
+            bare_result, bare_s = _timed_run(BareLeakageSimulator)
+            inst_result, inst_s = _timed_run(LeakageSimulator)
+            bare_seconds.append(bare_s)
+            instrumented_seconds.append(inst_s)
+            # Telemetry never touches the RNG: identical stream, identical run.
+            assert bare_result.round_records == inst_result.round_records
+            assert np.array_equal(
+                bare_result.final_data_leaked, inst_result.final_data_leaked
+            )
+            assert np.array_equal(
+                bare_result.observable_flips, inst_result.observable_flips
+            )
+            reference = inst_result
+        assert reference is not None
+        bare_best = min(bare_seconds)
+        instrumented_best = min(instrumented_seconds)
+        return [
+            {
+                "config": "leakage-population",
+                "distance": FLOOR_DISTANCE,
+                "shots": FLOOR_SHOTS,
+                "rounds": FLOOR_ROUNDS,
+                "repetitions": REPETITIONS,
+                "bare_seconds": bare_best,
+                "instrumented_seconds": instrumented_best,
+                "overhead_ratio": instrumented_best / bare_best,
+                "ceiling": OVERHEAD_CEILING,
+            }
+        ]
+
+    rows = run_once(benchmark, workload)
+    emit(
+        "Telemetry-off overhead: instrumented round loop vs frozen bare baseline",
+        format_table(rows),
+    )
+    save(
+        "BENCH_obs",
+        {
+            "p": 1e-3,
+            "leakage_ratio": 0.1,
+            "policy": "gladiator+m",
+            "ceiling": OVERHEAD_CEILING,
+            "repetitions": REPETITIONS,
+        },
+        rows,
+    )
+    assert rows[0]["overhead_ratio"] <= OVERHEAD_CEILING, rows[0]

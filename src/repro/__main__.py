@@ -72,6 +72,9 @@ def _load_config(args: argparse.Namespace) -> ExperimentConfig:
     for raw in getattr(args, "overrides", None) or []:
         path, value = _split_assignment(raw, "--set")
         config = config.override(path, _parse_value(value))
+    if getattr(args, "trace", None):
+        # The CLI flag wins over both the config field and REPRO_TELEMETRY.
+        config = config.override("execution.telemetry", args.trace)
     return config.validate()
 
 
@@ -167,6 +170,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        from .obs import resolve_telemetry, telemetry_scope
         from .sweeps.__main__ import run as run_named_sweep
 
         forwarded: list[str] = [args.preset]
@@ -178,7 +182,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             forwarded += ["--out", args.out]
         if args.results_dir is not None:
             forwarded += ["--results-dir", args.results_dir]
-        return run_named_sweep(forwarded)
+        # Named presets bypass Session, so the scope is opened here.
+        with telemetry_scope(
+            resolve_telemetry(None, args.trace),
+            manifest_extra={"sweep_preset": args.preset},
+        ):
+            return run_named_sweep(forwarded)
 
     from .api.session import Session
     from .io import ResultRecord, format_table, results_dir, save_records
@@ -276,17 +285,27 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from .fuzz import enumerate_cells, run_fuzz
+    from .obs import resolve_telemetry, telemetry_scope
 
     patterns = args.cells or None
     if patterns and not enumerate_cells(patterns=patterns):
         print(f"error: no scenario cells match {patterns}", file=sys.stderr)
         return 2
-    report = run_fuzz(
-        seed=args.seed,
-        budget=args.budget,
-        patterns=patterns,
-        progress=lambda line: print(line, file=sys.stderr),
-    )
+    # manifest_extra is read when the scope exits, so the fuzz outcome
+    # filled in below lands in the manifest.
+    manifest_extra: dict[str, Any] = {"fuzz": None}
+    with telemetry_scope(
+        resolve_telemetry(None, args.trace), manifest_extra=manifest_extra
+    ):
+        report = run_fuzz(
+            seed=args.seed,
+            budget=args.budget,
+            patterns=patterns,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        summary = report.to_dict()
+        del summary["results"]
+        manifest_extra["fuzz"] = summary
     if args.report is not None:
         path = Path(args.report)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -318,6 +337,13 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--out", default=None, help="output JSON path")
     parser.add_argument(
         "--results-dir", default=None, help="directory for the default output path"
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event JSON (plus .jsonl event log and "
+        ".manifest.json provenance) of the run to PATH",
     )
 
 
@@ -394,6 +420,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fuzz_parser.add_argument(
         "--report", default=None, metavar="PATH", help="write the JSON report here"
+    )
+    fuzz_parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace_event JSON of the fuzz run to PATH",
     )
     fuzz_parser.set_defaults(handler=_cmd_fuzz)
 

@@ -174,6 +174,10 @@ class ExecutionConfig:
     simulate-and-decode chunk size (part of the sweep cache key — the chunk
     plan fixes per-chunk RNG seeds); ``workers`` is the sweep process-pool
     size (performance-only, key-exempt, ``None`` = ``REPRO_WORKERS``).
+    ``telemetry`` activates the observability layer (``"1"``/``"on"`` for
+    metrics only, any other string as the Chrome-trace output path); like
+    ``workers`` it is observability-only — it never changes results and is
+    excluded from the sweep cache key.
     """
 
     shots: int = 100
@@ -185,6 +189,7 @@ class ExecutionConfig:
     window_rounds: int | None = None
     commit_rounds: int | None = None
     workers: int | None = None
+    telemetry: str | None = None
 
     def validate(self) -> None:
         if self.shots <= 0 or self.rounds <= 0:
@@ -338,8 +343,8 @@ class ExperimentConfig:
     def cache_payload(self) -> dict[str, Any]:
         """:meth:`to_dict` minus everything that cannot change results.
 
-        Performance-only knobs — ``decoder.cache_size``, ``execution.workers``
-        — and the cosmetic ``name`` are dropped, and component names are
+        Performance-only knobs — ``decoder.cache_size``, ``execution.workers``,
+        ``execution.telemetry`` — and the cosmetic ``name`` are dropped, and component names are
         canonicalised through the registries (``mwpm`` -> ``matching``,
         ``always`` -> ``always-lrc``, case folded), so two configs that
         simulate the same physics produce the same payload no matter how
@@ -350,6 +355,7 @@ class ExperimentConfig:
         payload.pop("name")
         payload["decoder"].pop("cache_size")
         payload["execution"].pop("workers")
+        payload["execution"].pop("telemetry")
         payload["code"]["name"] = CODES.canonical(payload["code"]["name"])
         payload["decoder"]["name"] = DECODERS.canonical(payload["decoder"]["name"])
         payload["policy"]["name"] = POLICIES.canonical(payload["policy"]["name"])

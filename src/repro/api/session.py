@@ -234,9 +234,10 @@ class Session:
         shots = execution.shots if shots is None else shots
         rounds = execution.rounds if rounds is None else rounds
         experiment = self.experiment()
-        if execution.decoded:
-            return experiment.run(shots=shots, rounds=rounds)
-        return experiment.run_undecoded(shots=shots, rounds=rounds)
+        with self._telemetry():
+            if execution.decoded:
+                return experiment.run(shots=shots, rounds=rounds)
+            return experiment.run_undecoded(shots=shots, rounds=rounds)
 
     def stream(
         self,
@@ -278,7 +279,8 @@ class Session:
         service = DecodeService.from_config(
             self.config, workers=workers, queue_depth=queue_depth
         )
-        return service.run(simulator_streams)
+        with self._telemetry():
+            return service.run(simulator_streams)
 
     def sweep(
         self,
@@ -306,7 +308,8 @@ class Session:
             executor = SweepExecutor(
                 workers=self.config.execution.workers, cache=cache
             )
-        return executor.run_units(units)
+        with self._telemetry():
+            return executor.run_units(units)
 
     def work_units(
         self, axes: Mapping[str, Sequence[Any]] | None = None
@@ -331,6 +334,18 @@ class Session:
             workunit_from_config(config.validate(), labels=labels)
             for config, labels in points
         ]
+
+    def _telemetry(self):
+        """The telemetry scope of one execution-path call.
+
+        Resolves ``execution.telemetry`` / ``REPRO_TELEMETRY`` once per call
+        and wraps the execution in :func:`repro.obs.telemetry_scope`; when
+        nothing requests telemetry (the default) the scope is a no-op, and
+        when an outer scope is already active this one joins it.
+        """
+        from ..obs import resolve_telemetry, telemetry_scope
+
+        return telemetry_scope(resolve_telemetry(self.config), config=self.config)
 
     def __repr__(self) -> str:
         return f"Session(config={self.config.name!r})"

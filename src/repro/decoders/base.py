@@ -30,10 +30,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.metrics import METRICS
 from .cache import SyndromeCache
 from .detector_graph import DetectorGraph
 
 __all__ = ["DecoderBase"]
+
+#: Batch-dedup telemetry: total shots entering the batched path vs unique
+#: syndromes actually decoded; no-ops unless a telemetry scope is active.
+_OBS_BATCH_SHOTS = METRICS.counter(
+    "decode.batch.shots", "shots entering the batched decode path"
+)
+_OBS_BATCH_UNIQUE = METRICS.counter(
+    "decode.batch.unique", "unique syndromes decoded after deduplication"
+)
 
 #: Cached entry: (correction edges, logical-flip parity).
 _Entry = tuple[tuple[tuple[int, int], ...], int]
@@ -63,6 +73,9 @@ class DecoderBase:
         if self.cache is None:
             self.cache = SyndromeCache()
         self._cache_prefix = (self.graph.fingerprint, self._cache_config())
+        # Lifetime dedup tallies of this instance's batched entry points.
+        self.batch_shots = 0
+        self.batch_unique = 0
 
     # ------------------------------------------------------------------ #
     # Subclass hooks
@@ -130,11 +143,32 @@ class DecoderBase:
         return [entries[j] for j in inverse]
 
     # ------------------------------------------------------------------ #
+    # Diagnostics
+    # ------------------------------------------------------------------ #
+    @property
+    def batch_dedup_ratio(self) -> float:
+        """Fraction of batched shots served by another shot's decode.
+
+        ``1 - unique/shots`` over this instance's lifetime; ``0.0`` before
+        any batched call.  Perf diagnostic only — never part of results.
+        """
+        if not self.batch_shots:
+            return 0.0
+        return 1.0 - self.batch_unique / self.batch_shots
+
+    def decode_stats(self) -> dict:
+        """Cache and dedup diagnostics of this decoder instance."""
+        assert self.cache is not None  # __post_init__ guarantees it
+        return {
+            "cache_hit_rate": self.cache.stats()["hit_rate"],
+            "dedup_ratio": self.batch_dedup_ratio,
+        }
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    @staticmethod
     def _deduplicate(
-        detector_history: np.ndarray, final_detectors: np.ndarray
+        self, detector_history: np.ndarray, final_detectors: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Whole-batch syndrome extraction and deduplication.
 
@@ -153,6 +187,10 @@ class DecoderBase:
         _, first, inverse = np.unique(
             packed, axis=0, return_index=True, return_inverse=True
         )
+        self.batch_shots += shots
+        self.batch_unique += len(first)
+        _OBS_BATCH_SHOTS.inc(shots)
+        _OBS_BATCH_UNIQUE.inc(len(first))
         return history, final, first, inverse.reshape(-1)
 
     def _decode_entry(

@@ -25,7 +25,21 @@ import threading
 from collections import OrderedDict
 from typing import Any, Hashable
 
+from ..obs.metrics import METRICS
+
 __all__ = ["SyndromeCache", "DEFAULT_CACHE_ENTRIES"]
+
+#: Process-wide mirrors of the per-instance counters below; no-ops unless a
+#: telemetry scope is active.
+_OBS_HITS = METRICS.counter(
+    "decode.cache.hits", "syndrome-cache lookups served from the cache"
+)
+_OBS_MISSES = METRICS.counter(
+    "decode.cache.misses", "syndrome-cache lookups that had to decode"
+)
+_OBS_EVICTIONS = METRICS.counter(
+    "decode.cache.evictions", "syndrome-cache LRU evictions"
+)
 
 #: Default LRU capacity.  Decoders only cache small syndromes (see
 #: ``_CACHE_MAX_FIRED`` in :mod:`repro.decoders.base` — heavy leakage-flood
@@ -70,9 +84,11 @@ class SyndromeCache:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
+                _OBS_MISSES.inc()
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
+            _OBS_HITS.inc()
             return entry
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -85,6 +101,7 @@ class SyndromeCache:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                _OBS_EVICTIONS.inc()
 
     def clear(self) -> None:
         """Drop all entries and reset the hit/miss/eviction counters."""

@@ -25,9 +25,22 @@ import networkx as nx
 import numpy as np
 
 from ..api.registry import register_decoder
+from ..obs.metrics import METRICS
 from .base import DecoderBase
 
 __all__ = ["MatchingDecoder", "STRATEGIES"]
+
+#: Matching-backend telemetry; no-ops unless a telemetry scope is active.
+_OBS_EXACT = METRICS.counter(
+    "decode.matching.exact", "syndromes matched by an exact backend"
+)
+_OBS_GREEDY = METRICS.counter(
+    "decode.matching.greedy", "syndromes matched by the greedy pairing"
+)
+_OBS_FALLBACKS = METRICS.counter(
+    "decode.matching.greedy_fallbacks",
+    "exact->greedy fallbacks (size cutoff in auto mode, or a DP dead end)",
+)
 
 
 #: Valid values of :attr:`MatchingDecoder.strategy`.
@@ -62,6 +75,9 @@ class MatchingDecoder(DecoderBase):
         if self.max_exact_nodes < 0:
             raise ValueError("max_exact_nodes must be non-negative")
         super().__post_init__()
+        # Lifetime backend tallies of this instance (exact incl. DP/blossom).
+        self.matchings_exact = 0
+        self.matchings_greedy = 0
 
     def _cache_config(self) -> tuple:
         return ("matching", self.strategy, self.max_exact_nodes)
@@ -73,8 +89,16 @@ class MatchingDecoder(DecoderBase):
         distances, predecessors = self.graph.shortest_paths_from(flagged)
         boundary = self.graph.boundary_node
         if self._use_exact(flagged.size):
+            self.matchings_exact += 1
+            _OBS_EXACT.inc()
             pairs = self._exact_matching(flagged, distances, boundary)
         else:
+            self.matchings_greedy += 1
+            _OBS_GREEDY.inc()
+            if self.strategy == "auto":
+                # Auto mode wanted exact matching but the syndrome was too
+                # large — the fallback the paper's leakage floods trigger.
+                _OBS_FALLBACKS.inc()
             pairs = self._greedy_matching(flagged, distances, boundary)
         index_of = {int(node): i for i, node in enumerate(flagged)}
         edges: list[tuple[int, int]] = []
@@ -195,6 +219,7 @@ class MatchingDecoder(DecoderBase):
             # finite-cost assignment to commit to, so fall back to the greedy
             # pairing, which tolerates infinite distances and still yields a
             # best-effort correction for the reachable pairs.
+            _OBS_FALLBACKS.inc()
             return self._greedy_matching(flagged, distances, boundary)
         pairs: list[tuple[int, int]] = []
         mask = size - 1

@@ -26,7 +26,14 @@ from .metrics import (
     wilson_interval,
 )
 
-__all__ = ["MemoryResult", "MemoryExperiment"]
+__all__ = ["MemoryResult", "MemoryExperiment", "PERF_SUMMARY_KEYS"]
+
+#: Summary keys that report execution-path performance, not physics.  They
+#: are inherently path-dependent (a windowed decode sees different batch
+#: boundaries than an offline decode of the same record), so bit-identity
+#: comparisons across execution paths strip them — the same spirit in which
+#: ``decoder.cache_size`` is excluded from the sweep cache key.
+PERF_SUMMARY_KEYS = ("decoder_cache_hit_rate", "batch_dedup_ratio")
 
 
 @dataclass
@@ -44,6 +51,9 @@ class MemoryResult:
     false_negatives_per_round: float
     total_leakage_events: int
     final_dlp: float
+    #: Decoder-performance diagnostics (see :data:`PERF_SUMMARY_KEYS`).
+    decoder_cache_hit_rate: float = 0.0
+    batch_dedup_ratio: float = 0.0
 
     @property
     def logical_error_rate(self) -> float:
@@ -95,6 +105,8 @@ class MemoryResult:
             "fn_per_round": self.false_negatives_per_round,
             "speculation_inaccuracy": self.speculation_inaccuracy,
             "total_leakage_events": self.total_leakage_events,
+            "decoder_cache_hit_rate": self.decoder_cache_hit_rate,
+            "batch_dedup_ratio": self.batch_dedup_ratio,
         }
 
 
@@ -170,7 +182,8 @@ class MemoryExperiment:
             )
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
-        decode_batch = self._make_decode(rounds)
+        decoder = self._make_decoder(rounds)
+        decode_batch = decoder.decode_batch
 
         failures = 0
         dlp_accumulator = np.zeros(rounds)
@@ -199,6 +212,7 @@ class MemoryExperiment:
             remaining -= batch
             batch_index += 1
 
+        stats = decoder.decode_stats()
         return MemoryResult(
             code_name=self.code.name,
             policy_name=self.policy.describe(),
@@ -211,10 +225,17 @@ class MemoryExperiment:
             false_negatives_per_round=totals["fn"] / (shots * rounds),
             total_leakage_events=totals["leak_events"],
             final_dlp=totals["final_leaked"] / shots,
+            decoder_cache_hit_rate=stats["cache_hit_rate"],
+            batch_dedup_ratio=stats["dedup_ratio"],
         )
 
-    def _make_decode(self, rounds: int):
-        """The batch-decode callable: offline by default, windowed when asked."""
+    def _make_decoder(self, rounds: int):
+        """The batch-decode provider: offline by default, windowed when asked.
+
+        Both return types expose the same protocol: ``decode_batch`` (the
+        per-chunk decode callable) and ``decode_stats`` (the cache/dedup
+        diagnostics read once after the run).
+        """
         if self.window_rounds is not None:
             from ..realtime.window import WindowedDecoder
 
@@ -228,18 +249,17 @@ class MemoryExperiment:
                 max_exact_nodes=self.decoder_max_exact_nodes,
                 strategy=self.decoder_strategy,
                 cache_size=self.decoder_cache_size,
-            ).decode_batch
+            )
         graph = DetectorGraph(
             code=self.code, rounds=rounds, noise=self.noise, hyperedges="decompose"
         )
-        decoder = make_decoder(
+        return make_decoder(
             graph,
             self.decoder_method,
             max_exact_nodes=self.decoder_max_exact_nodes,
             strategy=self.decoder_strategy,
             cache_size=self.decoder_cache_size,
         )
-        return decoder.decode_batch
 
     def run_undecoded(self, shots: int, rounds: int) -> RunResult:
         """Run the simulator without decoding (leakage-population studies)."""

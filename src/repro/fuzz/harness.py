@@ -28,6 +28,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from ..obs.trace import span
 from .invariants import RunCache, check_bit_identity, check_schema, check_statistics
 from .matrix import ScenarioCell, cell_config, enumerate_cells, small_instance
 
@@ -48,6 +49,7 @@ class CellResult:
     error: str | None = None
     traceback: str | None = None
     duration_ms: float = 0.0
+    tier_ms: dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {
@@ -55,6 +57,7 @@ class CellResult:
             "status": self.status,
             "tiers": self.tiers,
             "duration_ms": round(self.duration_ms, 3),
+            "tier_ms": {k: round(v, 3) for k, v in self.tier_ms.items()},
         }
         if self.violations:
             data["violations"] = self.violations
@@ -154,6 +157,8 @@ def run_fuzz(
     for index, cell in enumerate(cells):
         result = CellResult(cell=cell.key)
         cell_started = time.perf_counter()
+        cell_span = span("fuzz.cell", cell=cell.key)
+        cell_span.__enter__()
         config = None
         checks: list[tuple[str, Callable[[], list[str]]]] = []
         try:
@@ -173,20 +178,25 @@ def run_fuzz(
                 stats_done.add(cell.combo)
                 checks.append(("statistics", lambda: check_statistics(config, cache)))
         for tier, check in checks:
+            tier_started = time.perf_counter()
             try:
-                found = check()
+                with span("fuzz.tier", cell=cell.key, tier=tier):
+                    found = check()
             except Exception as error:  # noqa: BLE001 - crash freedom is the tier
+                result.tier_ms[tier] = (time.perf_counter() - tier_started) * 1e3
                 result.status = "crash"
                 result.tiers[tier] = "crash"
                 result.error = f"{type(error).__name__}: {error}"
                 result.traceback = traceback.format_exc()
                 break
+            result.tier_ms[tier] = (time.perf_counter() - tier_started) * 1e3
             if found:
                 result.status = "violation"
                 result.tiers[tier] = "violation"
                 result.violations.extend(f"{tier}: {message}" for message in found)
             else:
                 result.tiers[tier] = "ok"
+        cell_span.__exit__(None, None, None)
         result.duration_ms = (time.perf_counter() - cell_started) * 1e3
         results.append(result)
         if progress is not None and (index + 1) % 100 == 0:

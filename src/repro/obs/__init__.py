@@ -1,0 +1,132 @@
+"""Unified observability: spans, metrics and run manifests.
+
+Three pieces, one switch:
+
+* :mod:`repro.obs.metrics` — process-wide Counter/Gauge/Histogram registry
+  (``METRICS``), off by default, per-thread accumulation when on;
+* :mod:`repro.obs.trace` — nestable spans exported as Chrome ``trace_event``
+  JSON (Perfetto / ``chrome://tracing``) plus a flat JSONL event log;
+* :mod:`repro.obs.manifest` — run-provenance manifests (config digest,
+  engine version, seed, git sha, package versions, platform).
+
+Activation flows through :func:`telemetry_scope`: ``Session.run`` /
+``stream`` / ``sweep`` wrap their execution in one, targeting whatever
+:func:`resolve_telemetry` picks from ``execution.telemetry``, the
+``REPRO_TELEMETRY`` environment variable, or the CLI ``--trace`` flag.
+
+Two invariants, both asserted by tests/CI: telemetry never touches the
+simulation RNG (runs are bit-identical on and off), and the disabled path
+costs <=2% on the simulator round loop (``benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+from .manifest import MANIFEST_SCHEMA, build_manifest, write_manifest
+from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+    instant,
+    span,
+)
+
+__all__ = [
+    "METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "span",
+    "instant",
+    "MANIFEST_SCHEMA",
+    "build_manifest",
+    "write_manifest",
+    "resolve_telemetry",
+    "telemetry_scope",
+]
+
+_ENABLE_TOKENS = frozenset({"1", "on", "true", "yes"})
+_DISABLE_TOKENS = frozenset({"", "0", "off", "false", "no"})
+
+
+def resolve_telemetry(config: Any = None, cli_trace: str | None = None) -> str | None:
+    """Pick the telemetry target: CLI flag > config field > environment.
+
+    Returns ``None`` (telemetry off — the default), a trace-file path, or
+    the literal ``"on"`` (telemetry active without writing files, which is
+    how ``REPRO_TELEMETRY=1`` enables metrics for embedding callers).
+    """
+    target: Any = cli_trace
+    if target is None and config is not None:
+        target = getattr(config.execution, "telemetry", None)
+    if target is None:
+        target = os.environ.get("REPRO_TELEMETRY", "")
+    target = str(target).strip()
+    lowered = target.lower()
+    if lowered in _DISABLE_TOKENS:
+        return None
+    if lowered in _ENABLE_TOKENS:
+        return "on"
+    return target
+
+
+@contextmanager
+def telemetry_scope(
+    target: str | None,
+    *,
+    config: Any = None,
+    manifest_extra: dict[str, Any] | None = None,
+) -> Iterator[Tracer | None]:
+    """Activate tracing + metrics for a block; export files on exit.
+
+    ``target`` is :func:`resolve_telemetry` output: ``None`` makes the whole
+    scope a no-op, ``"on"`` activates without writing files, and any other
+    string is the Chrome-trace output path — on exit the scope also writes
+    ``<path>.jsonl`` (flat event log) and ``<path>.manifest.json``
+    (provenance) next to it.
+
+    Scopes are reentrant by *joining*: when a tracer is already active the
+    inner scope yields it untouched and writes nothing, so nested Session
+    calls (a sweep shard running under a traced CLI run, say) feed one
+    event stream owned by the outermost scope.
+    """
+    if target is None:
+        yield None
+        return
+    existing = current_tracer()
+    if existing is not None:
+        yield existing
+        return
+    tracer = Tracer()
+    activate(tracer)
+    METRICS.reset()
+    METRICS.enable()
+    try:
+        yield tracer
+    finally:
+        deactivate()
+        try:
+            if target.lower() not in _ENABLE_TOKENS:
+                path = Path(target)
+                tracer.write_chrome(path)
+                tracer.write_jsonl(path.with_suffix(".jsonl"))
+                write_manifest(
+                    path.with_suffix(".manifest.json"),
+                    config=config,
+                    extra=manifest_extra,
+                )
+        finally:
+            METRICS.disable()

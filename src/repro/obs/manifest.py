@@ -1,0 +1,116 @@
+"""Run-provenance manifests emitted next to results.
+
+A manifest answers "what exactly produced this file?": the config (and its
+content digest), the seed, the sweep engine version, the git revision, the
+package versions and the platform — everything needed to re-run or to
+explain a numeric discrepancy months later.  Traced CLI runs write one as
+``<trace>.manifest.json``; :func:`write_manifest` is also public for result
+writers that want a manifest without tracing.
+
+Fields that cannot be determined (no git checkout, package without a
+version attribute) are recorded as ``None`` rather than failing the run:
+provenance is advisory, never load-bearing.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = ["MANIFEST_SCHEMA", "build_manifest", "write_manifest"]
+
+#: Schema tag stamped into every manifest so readers can dispatch on shape.
+MANIFEST_SCHEMA = "repro.run-manifest/v1"
+
+#: Third-party packages whose versions affect numerics or performance.
+_PACKAGES = ("numpy", "scipy", "networkx")
+
+
+def _git_revision() -> dict[str, Any] | None:
+    """Current commit sha and dirty flag, or ``None`` outside a checkout."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5, check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=5, check=True,
+        ).stdout
+        return {"sha": sha, "dirty": bool(status.strip())}
+    except Exception:  # pragma: no cover - no git binary / not a checkout
+        return None
+
+
+def _package_versions() -> dict[str, str | None]:
+    versions: dict[str, str | None] = {}
+    for name in _PACKAGES:
+        try:
+            module = __import__(name)
+            versions[name] = getattr(module, "__version__", None)
+        except Exception:  # pragma: no cover - package not installed
+            versions[name] = None
+    return versions
+
+
+def build_manifest(
+    config: Any = None,
+    *,
+    seed: int | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the provenance dict for one run.
+
+    ``config`` is an :class:`~repro.api.config.ExperimentConfig` (or any
+    object with ``to_dict`` / ``digest`` / ``execution.seed``); ``extra``
+    merges caller-specific keys (sweep shapes, fuzz tallies) into the top
+    level.  When the metrics registry is live its snapshot is embedded, so a
+    traced run's manifest doubles as its counter report.
+    """
+    from ..sweeps.units import ENGINE_VERSION
+    from .metrics import METRICS
+
+    manifest: dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA,
+        "created_unix": time.time(),
+        "engine_version": ENGINE_VERSION,
+        "platform": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "system": platform.system(),
+            "machine": platform.machine(),
+        },
+        "packages": _package_versions(),
+        "git": _git_revision(),
+    }
+    if config is not None:
+        manifest["config"] = config.to_dict()
+        manifest["config_digest"] = config.digest()
+        manifest["seed"] = config.execution.seed
+    if seed is not None:
+        manifest["seed"] = seed
+    if METRICS.enabled:
+        manifest["metrics"] = METRICS.snapshot()
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(
+    path: str | Path,
+    config: Any = None,
+    *,
+    seed: int | None = None,
+    extra: dict[str, Any] | None = None,
+) -> Path:
+    """Write :func:`build_manifest` output as pretty JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    manifest = build_manifest(config, seed=seed, extra=extra)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n")
+    return path

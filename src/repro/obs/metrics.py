@@ -1,0 +1,229 @@
+"""Process-wide metrics: counters, gauges and histograms.
+
+Instruments are registered once (usually at module import of the code they
+instrument) and shared by every thread.  The design goal is a *null backend
+by default*: a disabled instrument's ``inc`` / ``set`` / ``observe`` is one
+attribute load and one branch, so instrumented hot paths cost nothing
+measurable when telemetry is off (``benchmarks/bench_obs_overhead.py``
+asserts the <=2% bound on the simulator round loop).
+
+When enabled, counters and histograms accumulate **per thread** — each
+thread writes its own slot of a ``threading.get_ident()``-keyed dict, so the
+hot path takes no lock; slots are merged only when a snapshot is read.  The
+enable switch is a mutable flag object shared between a registry and every
+instrument it created, so flipping the registry flips all of them at once.
+
+None of this ever touches the simulation RNG: instruments only *read* wall
+clocks and counts, which is what keeps telemetry outside the frozen
+RNG-draw-order contract.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "METRICS"]
+
+
+class _Flag:
+    """Mutable on/off switch shared between a registry and its instruments."""
+
+    __slots__ = ("on",)
+
+    def __init__(self, on: bool) -> None:
+        self.on = on
+
+
+#: Instruments built outside a registry (e.g. the realtime latency recorder's
+#: internal histogram) are always live: they meter their own data structure,
+#: not the global telemetry pipeline.
+_ALWAYS_ON = _Flag(True)
+
+
+class Counter:
+    """Monotonically increasing count with lock-free per-thread slots."""
+
+    __slots__ = ("name", "description", "_flag", "_parts")
+
+    def __init__(self, name: str, description: str = "", flag: _Flag = _ALWAYS_ON):
+        self.name = name
+        self.description = description
+        self._flag = flag
+        self._parts: dict[int, int] = {}
+
+    def inc(self, amount: int = 1) -> None:
+        if not self._flag.on:
+            return
+        parts = self._parts
+        ident = threading.get_ident()
+        parts[ident] = parts.get(ident, 0) + amount
+
+    @property
+    def value(self) -> int:
+        # dict.copy() is atomic under the GIL; summing the copy is safe even
+        # while other threads keep incrementing their slots.
+        return sum(self._parts.copy().values())
+
+    def reset(self) -> None:
+        self._parts = {}
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """Last-written value (queue depths, pool sizes)."""
+
+    __slots__ = ("name", "description", "_flag", "_value")
+
+    def __init__(self, name: str, description: str = "", flag: _Flag = _ALWAYS_ON):
+        self.name = name
+        self.description = description
+        self._flag = flag
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if self._flag.on:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+    def snapshot(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Streaming distribution with exact quantiles over per-thread buffers.
+
+    Observations are kept in full (runs here are bounded — thousands of
+    windows, not millions of requests), so ``percentile`` is exact
+    ``np.percentile`` over the merged sample, matching what the realtime
+    accounting computed before it moved onto this primitive.
+    """
+
+    __slots__ = ("name", "description", "_flag", "_parts")
+
+    def __init__(self, name: str = "", description: str = "", flag: _Flag = _ALWAYS_ON):
+        self.name = name
+        self.description = description
+        self._flag = flag
+        self._parts: dict[int, list[float]] = {}
+
+    def observe(self, value: float) -> None:
+        if not self._flag.on:
+            return
+        parts = self._parts
+        ident = threading.get_ident()
+        bucket = parts.get(ident)
+        if bucket is None:
+            bucket = parts[ident] = []
+        bucket.append(float(value))
+
+    def values(self) -> np.ndarray:
+        """Merged observations across threads (arbitrary inter-thread order)."""
+        merged: list[float] = []
+        for bucket in self._parts.copy().values():
+            merged.extend(bucket)
+        return np.asarray(merged, dtype=float)
+
+    @property
+    def count(self) -> int:
+        return sum(len(bucket) for bucket in self._parts.copy().values())
+
+    def percentile(self, q: float) -> float:
+        values = self.values()
+        if not values.size:
+            return 0.0
+        return float(np.percentile(values, q))
+
+    def reset(self) -> None:
+        self._parts = {}
+
+    def snapshot(self) -> dict[str, float]:
+        values = self.values()
+        if not values.size:
+            return {"count": 0}
+        return {
+            "count": int(values.size),
+            "sum": float(values.sum()),
+            "mean": float(values.mean()),
+            "min": float(values.min()),
+            "max": float(values.max()),
+            "p50": float(np.percentile(values, 50)),
+            "p99": float(np.percentile(values, 99)),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments behind one enable switch (off by default).
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: instrumented
+    modules declare their instruments at import time and the registry hands
+    the same object back on every call, so call sites and report readers
+    agree on identity by name.
+    """
+
+    def __init__(self) -> None:
+        self._flag = _Flag(False)
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self._flag.on
+
+    def enable(self) -> None:
+        self._flag.on = True
+
+    def disable(self) -> None:
+        self._flag.on = False
+
+    def _get_or_create(self, cls: type, name: str, description: str) -> Any:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name, description, flag=self._flag)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} is already registered as "
+                    f"{type(instrument).__name__}, not {cls.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, description)
+
+    def histogram(self, name: str, description: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, description)
+
+    def instruments(self) -> Iterable[Counter | Gauge | Histogram]:
+        with self._lock:
+            return list(self._instruments.values())
+
+    def reset(self) -> None:
+        """Zero every instrument (fresh accumulation for a new scope)."""
+        for instrument in self.instruments():
+            instrument.reset()
+
+    def snapshot(self) -> dict[str, Any]:
+        """Flat name -> value dict of everything accumulated so far."""
+        return {
+            instrument.name: instrument.snapshot()
+            for instrument in sorted(self.instruments(), key=lambda i: i.name)
+        }
+
+
+#: The process-wide registry every instrumented subsystem registers into.
+METRICS = MetricsRegistry()

@@ -1,0 +1,195 @@
+"""Nestable spans exported as Chrome ``trace_event`` JSON and flat JSONL.
+
+One :class:`Tracer` collects the events of one telemetry scope.  Spans are
+plain context managers::
+
+    with span("sim.round", round=i):
+        ...
+
+Each span becomes a Chrome "complete" event (``ph: "X"``) with microsecond
+``ts`` / ``dur`` relative to the tracer's start, the process id as ``pid``
+and the OS thread id as ``tid`` — exactly the shape ``chrome://tracing`` and
+https://ui.perfetto.dev load directly.  Nesting needs no bookkeeping: the
+viewers reconstruct the stack per thread from interval containment, which
+context-manager discipline guarantees.
+
+When no tracer is active (the default), the module-level :func:`span`
+returns a shared no-op context manager and :func:`current_tracer` returns
+``None`` — hot loops hoist that check so the disabled path costs one
+``is not None`` per round, inside the <=2% overhead budget that
+``benchmarks/bench_obs_overhead.py`` asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "activate",
+    "deactivate",
+    "span",
+    "instant",
+    "NULL_SPAN",
+]
+
+
+class Span:
+    """Context manager emitting one complete ("X") event on exit."""
+
+    __slots__ = ("_tracer", "name", "args", "_start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict[str, Any] | None):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._start_ns = 0
+
+    def __enter__(self) -> "Span":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer.complete_ns(
+            self.name, self._start_ns, time.perf_counter_ns(), self.args
+        )
+        return False
+
+
+class _NullSpan:
+    """The telemetry-off span: enters and exits without doing anything."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+#: Shared no-op instance handed out whenever no tracer is active.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects trace events for one scope; thread-safe on the append path."""
+
+    def __init__(self) -> None:
+        self._events: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self.pid = os.getpid()
+        self.t0_ns = time.perf_counter_ns()
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, **args: Any) -> Span:
+        return Span(self, name, args or None)
+
+    def complete_ns(
+        self,
+        name: str,
+        start_ns: int,
+        end_ns: int,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """Record a complete event from raw ``perf_counter_ns`` endpoints.
+
+        Hot loops that already hold phase tick timestamps call this directly
+        instead of nesting :class:`Span` objects, so instrumentation adds no
+        clock reads beyond the ones the phase accounting takes anyway.
+        """
+        event: dict[str, Any] = {
+            "name": name,
+            "ph": "X",
+            "pid": self.pid,
+            "tid": threading.get_ident(),
+            "ts": (start_ns - self.t0_ns) / 1e3,
+            "dur": (end_ns - start_ns) / 1e3,
+        }
+        if args:
+            event["args"] = args
+        with self._lock:
+            self._events.append(event)
+
+    def instant(self, name: str, **args: Any) -> None:
+        """Record a zero-duration marker (cache hits, backpressure stalls)."""
+        event: dict[str, Any] = {
+            "name": name,
+            "ph": "i",
+            "s": "t",
+            "pid": self.pid,
+            "tid": threading.get_ident(),
+            "ts": (time.perf_counter_ns() - self.t0_ns) / 1e3,
+        }
+        if args:
+            event["args"] = args
+        with self._lock:
+            self._events.append(event)
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def events(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return list(self._events)
+
+    def write_chrome(self, path: str | Path) -> Path:
+        """Write the Chrome ``trace_event`` JSON object form."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"traceEvents": self.events(), "displayTimeUnit": "ms"}
+        path.write_text(json.dumps(document, indent=1) + "\n")
+        return path
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write the flat one-event-per-line log (grep/jq-friendly)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lines = [json.dumps(event, sort_keys=True) for event in self.events()]
+        path.write_text("\n".join(lines) + ("\n" if lines else ""))
+        return path
+
+
+# --------------------------------------------------------------------- #
+# The active tracer (one per process; scopes nest by joining)
+# --------------------------------------------------------------------- #
+_ACTIVE: Tracer | None = None
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer of the enclosing telemetry scope, or ``None`` when off."""
+    return _ACTIVE
+
+
+def activate(tracer: Tracer) -> None:
+    global _ACTIVE
+    _ACTIVE = tracer
+
+
+def deactivate() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def span(name: str, **args: Any) -> Span | _NullSpan:
+    """A span on the active tracer, or the shared no-op when telemetry is off."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **args)
+
+
+def instant(name: str, **args: Any) -> None:
+    """An instant marker on the active tracer; no-op when telemetry is off."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.instant(name, **args)

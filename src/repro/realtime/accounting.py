@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..hardware.microarchitecture import ROUND_LATENCY_NS, realtime_deadline_ns
+from ..obs.metrics import Histogram
 
 __all__ = ["WindowTiming", "LatencyRecorder", "StreamReport"]
 
@@ -32,9 +33,20 @@ class WindowTiming:
 
 @dataclass
 class LatencyRecorder:
-    """Collects per-window timings of one stream and summarises them."""
+    """Collects per-window timings of one stream and summarises them.
+
+    The per-round latency distribution lives in a private
+    :class:`~repro.obs.metrics.Histogram` (an always-on instrument metering
+    this recorder's own data, independent of the global telemetry switch),
+    so the percentiles here and the ones a telemetry snapshot reports come
+    from the same primitive.  Summary keys are unchanged from the
+    pre-histogram implementation.
+    """
 
     timings: list[WindowTiming] = field(default_factory=list)
+    histogram: Histogram = field(
+        default_factory=lambda: Histogram("realtime.round_latency"), repr=False
+    )
 
     def record(
         self, committed_rounds: int, service_seconds: float, wait_seconds: float = 0.0
@@ -43,6 +55,7 @@ class LatencyRecorder:
         self.timings.append(
             WindowTiming(int(committed_rounds), float(service_seconds), float(wait_seconds))
         )
+        self.histogram.observe(float(service_seconds) / max(1, int(committed_rounds)))
 
     def add_wait(self, wait_seconds: float) -> None:
         """Attach a queue wait to the most recently recorded window."""
@@ -72,8 +85,7 @@ class LatencyRecorder:
 
     def percentile(self, q: float) -> float:
         """Percentile of the per-round decode latency (seconds)."""
-        latencies = self.per_round_latencies
-        return float(np.percentile(latencies, q)) if latencies.size else 0.0
+        return self.histogram.percentile(q)
 
     def summary(self) -> dict:
         """Flat latency summary (seconds), priced against the hardware budget."""

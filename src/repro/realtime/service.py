@@ -27,6 +27,8 @@ from typing import Sequence
 import numpy as np
 
 from ..decoders import SyndromeCache
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 from .accounting import LatencyRecorder, StreamReport
 from .stream import SyndromeStream
 from .window import WindowedDecoder, WindowSession
@@ -34,6 +36,17 @@ from .window import WindowedDecoder, WindowSession
 __all__ = ["DecodeService"]
 
 _POLL_SECONDS = 0.05
+
+#: Decode-service telemetry; no-ops unless a telemetry scope is active.
+_OBS_QUEUE_DEPTH = METRICS.gauge(
+    "realtime.queue_depth", "pending-window queue depth after each enqueue"
+)
+_OBS_BACKPRESSURE = METRICS.counter(
+    "realtime.backpressure_stalls", "producer blocks on a full window queue"
+)
+_OBS_WINDOWS = METRICS.counter(
+    "realtime.windows_decoded", "window decode jobs completed by the workers"
+)
 
 
 class _StreamTask:
@@ -248,9 +261,18 @@ class DecodeService:
     @staticmethod
     def _enqueue(work: queue.Queue, kind: str, task: _StreamTask) -> None:
         # in_flight must flip before the (possibly blocking) put so the
-        # producer never double-schedules a stream.
+        # producer never double-schedules a stream.  The enqueue timestamp is
+        # taken before the put either way, so a backpressure stall shows up
+        # as queue wait exactly as it did before instrumentation.
         task.in_flight = True
-        work.put((kind, task, time.perf_counter()))
+        item = (kind, task, time.perf_counter())
+        try:
+            work.put_nowait(item)
+        except queue.Full:
+            _OBS_BACKPRESSURE.inc()
+            work.put(item)
+        if METRICS.enabled:
+            _OBS_QUEUE_DEPTH.set(work.qsize())
 
     @staticmethod
     def _worker(work: queue.Queue, done: threading.Condition) -> None:
@@ -263,9 +285,12 @@ class DecodeService:
             wait = time.perf_counter() - enqueued_at
             try:
                 if kind == "window":
-                    task.session.step()
+                    with span("realtime.window", stream=task.stream_id):
+                        task.session.step()
+                    _OBS_WINDOWS.inc()
                 else:
-                    task.complete()
+                    with span("realtime.final", stream=task.stream_id):
+                        task.complete()
                 task.recorder.add_wait(wait)
             except BaseException as exc:  # surface in run(), don't kill the pool
                 task.error = exc

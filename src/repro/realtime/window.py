@@ -154,6 +154,23 @@ class WindowedDecoder:
         """Offline-shaped entry point: replay recorded arrays through windows."""
         return self.decode_stream(ReplayStream(detector_history, final_detectors))
 
+    def decode_stats(self) -> dict:
+        """Cache and dedup diagnostics aggregated over the window decoders.
+
+        Same shape as :meth:`repro.decoders.DecoderBase.decode_stats`, so
+        :class:`~repro.experiments.memory.MemoryExperiment` reads either
+        provider uniformly.  Note the cache may be shared (the decode
+        service pools one across streams), in which case ``cache_hit_rate``
+        reports the pool, not just this instance.
+        """
+        assert self.cache is not None  # __post_init__ guarantees it
+        shots = sum(d.batch_shots for _, d in self._decoders.values())
+        unique = sum(d.batch_unique for _, d in self._decoders.values())
+        return {
+            "cache_hit_rate": self.cache.stats()["hit_rate"],
+            "dedup_ratio": 1.0 - unique / shots if shots else 0.0,
+        }
+
 
 @dataclass
 class WindowSession:

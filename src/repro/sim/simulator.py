@@ -37,6 +37,7 @@ from ..circuits.schedule import RoundSchedule
 from ..codes.base import StabilizerCode
 from ..core.speculator import LeakagePolicy, SpeculationInput
 from ..noise import NoiseParams
+from ..obs.trace import Tracer, current_tracer
 from . import _ckernels
 from .draws import DrawOp, DrawPlan, make_draw_source
 from .state import ChannelScratch, SimState
@@ -230,6 +231,7 @@ class LeakageSimulator:
         self._lrc_gate_error = self.gadget.gate_error(noise)
         self._lrc_induced_leak = self.gadget.induced_leakage(noise)
         self._phase_ns: dict[str, int] | None = None
+        self._round_tracer: Tracer | None = None
         self._use_ckernels = _ckernels.available()
         self._build_gather_structures()
 
@@ -463,6 +465,23 @@ class LeakageSimulator:
         """Per-phase accumulated nanoseconds, or ``None`` when disabled."""
         return self._phase_ns
 
+    def _phase_mark(self, phase: str, tick: int, round_index: int) -> int:
+        """Close one round phase that started at ``tick``; return the new tick.
+
+        Feeds both instrumentation sinks from a single clock read: the
+        legacy phase-timing accumulator (when enabled) and the active
+        tracer's ``sim.phase.*`` spans (when a telemetry scope is open).
+        Pure observation — no RNG access, no state mutation.
+        """
+        now = time.perf_counter_ns()
+        timing = self._phase_ns
+        if timing is not None:
+            timing[phase] += now - tick
+        tracer = self._round_tracer
+        if tracer is not None:
+            tracer.complete_ns(f"sim.phase.{phase}", tick, now, {"round": round_index})
+        return now
+
     # ------------------------------------------------------------------ #
     # Main entry points
     # ------------------------------------------------------------------ #
@@ -498,6 +517,10 @@ class LeakageSimulator:
         """
         if shots <= 0 or rounds <= 0:
             raise ValueError("shots and rounds must be positive")
+        # Resolve the telemetry scope once per run; the round loop then only
+        # pays ``is not None`` checks (see benchmarks/bench_obs_overhead.py).
+        tracer = self._round_tracer = current_tracer()
+        run_start_ns = time.perf_counter_ns() if tracer is not None else 0
         noise, rng, code = self.noise, self.rng, self.code
         state = SimState(shots, code.num_data, code.num_ancilla)
         if self.options.leakage_sampling:
@@ -529,7 +552,15 @@ class LeakageSimulator:
                 yield round_index, z_detectors
 
             source.start_final()
+            final_tick = time.perf_counter_ns() if tracer is not None else 0
             final_detectors, observable_flips = self._final_readout(state, ws, source)
+            if tracer is not None:
+                now = time.perf_counter_ns()
+                tracer.complete_ns("sim.final_readout", final_tick, now)
+                tracer.complete_ns(
+                    "sim.run", run_start_ns, now,
+                    {"code": code.name, "shots": shots, "rounds": rounds},
+                )
         finally:
             source.close()
 
@@ -571,8 +602,10 @@ class LeakageSimulator:
         # below stay aligned with the per-round plan body.
         noise = self.noise.params_for_round(round_index)
         shots = state.shots
-        timing = self._phase_ns
-        tick = time.perf_counter_ns() if timing is not None else 0
+        tracer = self._round_tracer
+        instrument = self._phase_ns is not None or tracer is not None
+        tick = time.perf_counter_ns() if instrument else 0
+        round_start_ns = tick
 
         # 1. Apply the LRCs scheduled by last round's decision.  ``ws.data_lrc``
         #    / ``ws.anc_lrc`` still hold that decision; they are fully consumed
@@ -612,10 +645,8 @@ class LeakageSimulator:
         totals["leak_events"] += state.inject_ancilla_leakage(
             noise.p_leak, source=source, scratch=ws.anc
         )
-        if timing is not None:
-            now = time.perf_counter_ns()
-            timing["noise"] += now - tick
-            tick = now
+        if instrument:
+            tick = self._phase_mark("noise", tick, round_index)
 
         # 4. Entangling layers, executed on packed uint8 planes
         #    (x | z<<1 | leaked<<2): one gather/scatter per register per
@@ -627,10 +658,8 @@ class LeakageSimulator:
             totals["leak_events"] += self._apply_cnot_layer(layer_index, ws, source)
         _unpack_register(ws.data_pack, state.data_x, state.data_z, state.data_leaked, ws.data_u8)
         _unpack_register(ws.anc_pack, state.anc_x, state.anc_z, state.anc_leaked, ws.anc_u8)
-        if timing is not None:
-            now = time.perf_counter_ns()
-            timing["cnot_layers"] += now - tick
-            tick = now
+        if instrument:
+            tick = self._phase_mark("cnot_layers", tick, round_index)
 
         # 5. Measurement, MLR, detectors.
         self._measure(state, ws, source)
@@ -647,10 +676,8 @@ class LeakageSimulator:
         z_detectors = ws.detectors[:, self._z_stab_indices]
         if detector_history is not None:
             detector_history[:, round_index, :] = z_detectors
-        if timing is not None:
-            now = time.perf_counter_ns()
-            timing["measure"] += now - tick
-            tick = now
+        if instrument:
+            tick = self._phase_mark("measure", tick, round_index)
 
         # 6. Speculation.  ``pattern_a`` receives this round's patterns while
         #    ``pattern_b`` still holds the previous round's (two-round
@@ -670,10 +697,8 @@ class LeakageSimulator:
         self.policy.decide_into(
             ctx, ws.data_lrc, ws.anc_lrc if ws.emits_ancilla_lrc else None
         )
-        if timing is not None:
-            now = time.perf_counter_ns()
-            timing["speculate"] += now - tick
-            tick = now
+        if instrument:
+            tick = self._phase_mark("speculate", tick, round_index)
 
         # 7. Accuracy accounting at decision time.
         data = ws.data
@@ -704,8 +729,13 @@ class LeakageSimulator:
             true_positives=true_positives / shots,
         )
         ws.pattern_a, ws.pattern_b = ws.pattern_b, ws.pattern_a
-        if timing is not None:
-            timing["bookkeeping"] += time.perf_counter_ns() - tick
+        if instrument:
+            tick = self._phase_mark("bookkeeping", tick, round_index)
+            if tracer is not None:
+                tracer.complete_ns(
+                    "sim.round", round_start_ns, tick,
+                    {"round": round_index, "lrcs": lrcs_this_round},
+                )
         return record, z_detectors
 
     # ------------------------------------------------------------------ #

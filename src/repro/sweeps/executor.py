@@ -31,6 +31,8 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from ..obs.metrics import METRICS
+from ..obs.trace import instant, span
 from .cache import SweepCache
 from .spec import SweepSpec
 from .units import (
@@ -54,6 +56,17 @@ __all__ = [
 #: Default shot budget per shard; matches the decoded path's internal batch
 #: size so a shard is one decode batch.
 DEFAULT_SHARD_SHOTS = 250
+
+#: Sweep-engine telemetry; no-ops unless a telemetry scope is active.
+_OBS_CACHE_HITS = METRICS.counter(
+    "sweep.units.cache_hits", "work units served from the on-disk sweep cache"
+)
+_OBS_COMPUTED = METRICS.counter(
+    "sweep.units.computed", "work units actually simulated"
+)
+_OBS_SHARDS = METRICS.counter(
+    "sweep.shards.executed", "shard tasks executed across all units"
+)
 
 
 def default_workers() -> int:
@@ -165,6 +178,8 @@ class SweepExecutor:
             cached = self.cache.get(key) if self.cache is not None else None
             if cached is not None:
                 self.units_from_cache += 1
+                _OBS_CACHE_HITS.inc()
+                instant("sweep.unit.cache_hit", family=unit.family, policy=unit.policy)
                 rows[index] = apply_unit_labels(unit, cached)
             else:
                 pending.append((index, unit, key))
@@ -211,11 +226,20 @@ class SweepExecutor:
             # qualitative assertions in the benchmark suite) are unchanged
             # when nobody asks for parallelism.
             for unit in units:
-                payloads = [
-                    run_shard(unit, shots, seed) for shots, seed in self.effective_plan(unit)
-                ]
+                with span(
+                    "sweep.unit",
+                    family=unit.family,
+                    policy=unit.policy,
+                    shots=unit.shots,
+                ):
+                    payloads = [
+                        run_shard(unit, shots, seed)
+                        for shots, seed in self.effective_plan(unit)
+                    ]
                 self.shards_executed += len(payloads)
                 self.units_computed += 1
+                _OBS_SHARDS.inc(len(payloads))
+                _OBS_COMPUTED.inc()
                 yield summarize_unit(unit, merge_shards(unit, payloads), apply_labels=False)
             return
 
@@ -230,19 +254,25 @@ class SweepExecutor:
         context = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         )
-        with context.Pool(
-            processes=min(self.workers, len(tasks)),
-            initializer=_worker_init,
-            initargs=(src_path,),
-        ) as pool:
-            payloads = pool.starmap(_pool_run_shard, tasks, chunksize=1)
+        # One span over the whole pool run: worker processes have their own
+        # (inactive) telemetry state, so per-shard spans cannot cross the
+        # process boundary — the pool's wall time is what the parent can see.
+        with span("sweep.pool", tasks=len(tasks), workers=self.workers):
+            with context.Pool(
+                processes=min(self.workers, len(tasks)),
+                initializer=_worker_init,
+                initargs=(src_path,),
+            ) as pool:
+                payloads = pool.starmap(_pool_run_shard, tasks, chunksize=1)
         self.shards_executed += len(tasks)
+        _OBS_SHARDS.inc(len(tasks))
 
         cursor = 0
         for unit, count in zip(units, boundaries):
             shard_payloads = payloads[cursor : cursor + count]
             cursor += count
             self.units_computed += 1
+            _OBS_COMPUTED.inc()
             yield summarize_unit(
                 unit, merge_shards(unit, shard_payloads), apply_labels=False
             )

@@ -50,8 +50,9 @@ __all__ = [
 #: :class:`~repro.api.config.ExperimentConfig` form (see
 #: :func:`unit_to_config`), so every construction route — legacy wrappers,
 #: ``SweepSpec`` grids, ``Session.sweep`` — keys the same simulation
-#: identically.
-ENGINE_VERSION = 4
+#: identically.  v5: decoded payloads and summaries gained the
+#: decoder-cache hit-rate and batch-dedup-ratio diagnostics.
+ENGINE_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -263,6 +264,8 @@ def run_shard(unit: WorkUnit, shots: int, seed: int) -> dict[str, Any]:
             "fn_per_round": result.false_negatives_per_round,
             "total_leakage_events": result.total_leakage_events,
             "final_dlp": result.final_dlp,
+            "decoder_cache_hit_rate": result.decoder_cache_hit_rate,
+            "batch_dedup_ratio": result.batch_dedup_ratio,
         }
 
     simulator = LeakageSimulator(
@@ -342,6 +345,8 @@ def merge_shards(unit: WorkUnit, payloads: list[dict[str, Any]]) -> RunResult | 
             false_negatives_per_round=float(wavg("fn_per_round")),
             total_leakage_events=int(sum(p["total_leakage_events"] for p in payloads)),
             final_dlp=float(wavg("final_dlp")),
+            decoder_cache_hit_rate=float(wavg("decoder_cache_hit_rate")),
+            batch_dedup_ratio=float(wavg("batch_dedup_ratio")),
         )
 
     if len(payloads) == 1:

@@ -11,6 +11,7 @@ from repro.codes import color_code, surface_code
 from repro.core import make_policy
 from repro.decoders import DetectorGraph, SyndromeCache, UnionFindDecoder, make_decoder
 from repro.experiments import MemoryExperiment
+from repro.experiments.memory import PERF_SUMMARY_KEYS
 from repro.noise import ideal_noise, paper_noise
 from repro.realtime import (
     DecodeService,
@@ -107,7 +108,12 @@ def test_full_window_matches_offline_memory_experiment(make_code, method):
     oversized = MemoryExperiment(**kwargs, window_rounds=50).run(shots=40, rounds=6)
     assert windowed.failures == offline.failures
     assert oversized.failures == offline.failures
-    assert windowed.summary() == offline.summary()
+    # Perf diagnostics (cache hit rate, dedup ratio) are path-dependent;
+    # bit identity is asserted on the physics keys.
+    strip = lambda summary: {
+        k: v for k, v in summary.items() if k not in PERF_SUMMARY_KEYS
+    }
+    assert strip(windowed.summary()) == strip(offline.summary())
 
 
 @pytest.mark.parametrize("method", ["matching", "union_find"])

@@ -1,21 +1,24 @@
 """Profile the simulator hot path: cProfile plus a per-phase breakdown.
 
 Runs one leakage-simulation workload twice: once under ``cProfile`` (where
-is the Python/NumPy time going?) and once with the simulator's built-in
-``perf_counter_ns`` phase instrumentation (how do the QEC-round phases —
-noise channels, CNOT layers, measurement, speculation, bookkeeping — share
-the wall-clock?).  This is the harness the "Simulator performance" notes in
-``docs/architecture.md`` were produced with.
+is the Python/NumPy time going?) and once under a ``repro.obs`` tracer,
+deriving the per-phase table from the ``sim.phase.*`` spans the simulator
+emits (how do the QEC-round phases — noise channels, CNOT layers,
+measurement, speculation, bookkeeping — share the wall-clock?).  This is
+the harness the "Simulator performance" notes in ``docs/architecture.md``
+were produced with.
 
 Usage::
 
     PYTHONPATH=src python tools/profile_sim.py                 # default d=5 workload
     PYTHONPATH=src python tools/profile_sim.py -d 7 -s 50000   # bigger batch
+    PYTHONPATH=src python tools/profile_sim.py --json          # machine-readable
     PYTHONPATH=src python tools/profile_sim.py --smoke         # CI sanity run
 
 ``--smoke`` runs a tiny configuration and asserts the harness end-to-end
-(phase totals sum to roughly the run's wall-clock), so CI keeps the
-profiler from rotting without paying for a real profile.
+(every phase shows up in the span-derived table), so CI keeps the profiler
+from rotting without paying for a real profile.  ``--json`` emits the
+breakdown as one JSON object on stdout (human tables move to stderr).
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from __future__ import annotations
 import argparse
 import cProfile
 import io
+import json
 import pstats
 import sys
 import time
@@ -35,6 +39,7 @@ if str(_SRC) not in sys.path:
 from repro.core import make_policy  # noqa: E402
 from repro.experiments import make_code  # noqa: E402
 from repro.noise import paper_noise  # noqa: E402
+from repro.obs.trace import Tracer, activate, deactivate  # noqa: E402
 from repro.sim import LeakageSimulator, SimulatorOptions  # noqa: E402
 from repro.sim.simulator import PHASE_NAMES  # noqa: E402
 
@@ -54,30 +59,54 @@ def build_simulator(args: argparse.Namespace) -> LeakageSimulator:
     )
 
 
-def phase_breakdown(args: argparse.Namespace) -> dict[str, int]:
-    """Run once with phase timing; print and return the ns-per-phase table."""
+def phase_breakdown(
+    args: argparse.Namespace, out=sys.stdout
+) -> tuple[dict[str, int], int]:
+    """Run once under a tracer; print and return (ns-per-phase, wall ns).
+
+    The table is derived from the ``sim.phase.*`` spans the simulator emits,
+    so the profiler exercises exactly the instrumentation a traced production
+    run records — there is no separate private timing path to rot.
+    """
     simulator = build_simulator(args)
-    accumulator = simulator.enable_phase_timing()
-    started = time.perf_counter_ns()
-    simulator.run(shots=args.shots, rounds=args.rounds)
-    wall = time.perf_counter_ns() - started
+    tracer = Tracer()
+    activate(tracer)
+    try:
+        started = time.perf_counter_ns()
+        simulator.run(shots=args.shots, rounds=args.rounds)
+        wall = time.perf_counter_ns() - started
+    finally:
+        deactivate()
+    totals = {name: 0.0 for name in PHASE_NAMES}
+    prefix = "sim.phase."
+    for event in tracer.events():
+        name = event["name"]
+        if name.startswith(prefix):
+            # Span durations are microseconds; the table reports nanoseconds.
+            totals[name[len(prefix):]] += event["dur"] * 1e3
+    accumulator = {name: int(value) for name, value in totals.items()}
     total = sum(accumulator.values()) or 1
-    print(f"\nPer-phase breakdown ({args.shots} shots x {args.rounds} rounds):")
-    print(f"  {'phase':<14}{'ms/round':>10}{'share':>9}")
+    print(
+        f"\nPer-phase breakdown ({args.shots} shots x {args.rounds} rounds):",
+        file=out,
+    )
+    print(f"  {'phase':<14}{'ms/round':>10}{'share':>9}", file=out)
     for name in PHASE_NAMES:
         nanoseconds = accumulator[name]
         print(
             f"  {name:<14}{nanoseconds / 1e6 / args.rounds:>10.3f}"
-            f"{100.0 * nanoseconds / total:>8.1f}%"
+            f"{100.0 * nanoseconds / total:>8.1f}%",
+            file=out,
         )
     print(
         f"  {'(wall clock)':<14}{wall / 1e6 / args.rounds:>10.3f}"
-        f"   {wall / 1e9:.2f} s total"
+        f"   {wall / 1e9:.2f} s total",
+        file=out,
     )
-    return accumulator
+    return accumulator, wall
 
 
-def profile(args: argparse.Namespace) -> None:
+def profile(args: argparse.Namespace, out=sys.stdout) -> None:
     """Run once under cProfile and print the hottest functions."""
     simulator = build_simulator(args)
     profiler = cProfile.Profile()
@@ -87,7 +116,7 @@ def profile(args: argparse.Namespace) -> None:
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
     stats.sort_stats("tottime").print_stats(args.top)
-    print(stream.getvalue())
+    print(stream.getvalue(), file=out)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -114,19 +143,41 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke", action="store_true",
         help="tiny self-checking run for CI (overrides the workload knobs)",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the phase breakdown as JSON on stdout (tables go to stderr)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
         args.distance, args.shots, args.rounds, args.top = 3, 200, 6, 5
+    human_out = sys.stderr if args.json else sys.stdout
     if not args.no_cprofile:
-        profile(args)
-    accumulator = phase_breakdown(args)
+        profile(args, out=human_out)
+    accumulator, wall = phase_breakdown(args, out=human_out)
+
+    if args.json:
+        payload = {
+            "workload": {
+                "family": args.family,
+                "distance": args.distance,
+                "shots": args.shots,
+                "rounds": args.rounds,
+                "policy": args.policy,
+                "p": args.p,
+                "leakage_ratio": args.leakage_ratio,
+                "seed": args.seed,
+            },
+            "phases_ns": accumulator,
+            "wall_ns": wall,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
 
     if args.smoke:
         assert set(accumulator) == set(PHASE_NAMES)
         assert all(value >= 0 for value in accumulator.values())
         assert sum(accumulator.values()) > 0
-        print("smoke ok: phase accounting is live")
+        print("smoke ok: phase accounting is live", file=human_out)
     return 0
 
 
