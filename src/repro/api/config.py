@@ -177,7 +177,9 @@ class ExecutionConfig:
     ``telemetry`` activates the observability layer (``"1"``/``"on"`` for
     metrics only, any other string as the Chrome-trace output path); like
     ``workers`` it is observability-only — it never changes results and is
-    excluded from the sweep cache key.
+    excluded from the sweep cache key.  ``fused`` routes decoding through
+    the zero-copy :mod:`repro.pipeline` (bit-identical results, fewer
+    allocations); it is performance-only and key-exempt like ``workers``.
     """
 
     shots: int = 100
@@ -190,10 +192,13 @@ class ExecutionConfig:
     commit_rounds: int | None = None
     workers: int | None = None
     telemetry: str | None = None
+    fused: bool = False
 
     def validate(self) -> None:
         if self.shots <= 0 or self.rounds <= 0:
             raise ValueError("shots and rounds must be positive")
+        if self.fused and not self.decoded:
+            raise ValueError("fused only applies to decoded runs")
         if self.decode_batch_size is not None and self.decode_batch_size <= 0:
             raise ValueError("decode_batch_size must be positive")
         if self.window_rounds is not None:
@@ -344,7 +349,7 @@ class ExperimentConfig:
         """:meth:`to_dict` minus everything that cannot change results.
 
         Performance-only knobs — ``decoder.cache_size``, ``execution.workers``,
-        ``execution.telemetry`` — and the cosmetic ``name`` are dropped, and component names are
+        ``execution.telemetry``, ``execution.fused`` — and the cosmetic ``name`` are dropped, and component names are
         canonicalised through the registries (``mwpm`` -> ``matching``,
         ``always`` -> ``always-lrc``, case folded), so two configs that
         simulate the same physics produce the same payload no matter how
@@ -356,6 +361,7 @@ class ExperimentConfig:
         payload["decoder"].pop("cache_size")
         payload["execution"].pop("workers")
         payload["execution"].pop("telemetry")
+        payload["execution"].pop("fused")
         payload["code"]["name"] = CODES.canonical(payload["code"]["name"])
         payload["decoder"]["name"] = DECODERS.canonical(payload["decoder"]["name"])
         payload["policy"]["name"] = POLICIES.canonical(payload["policy"]["name"])

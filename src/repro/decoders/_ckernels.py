@@ -1,0 +1,445 @@
+"""Optional runtime-compiled C kernels for the decoder hot path.
+
+Two pure-Python loops dominate batched decoding once the NumPy-level work
+is vectorised, and both follow the :mod:`repro.sim._ckernels` pattern —
+compile on demand with the system C compiler, cache the shared library,
+fall back to bit-identical NumPy/Python when no compiler is available:
+
+* **Batch syndrome hashing.**  Deduplication
+  (:meth:`~repro.decoders.base.DecoderBase._deduplicate`) has to group
+  identical packed syndrome rows; ``np.unique(..., axis=0)`` lex-sorts the
+  full ``(shots, nbytes)`` matrix.  ``hash_rows`` collapses each row to one
+  FNV-1a 64-bit value in a single pass so the grouping runs on a flat
+  uint64 vector instead.  The caller verifies the grouping against the raw
+  rows (collisions demote to the exact path), so hashing never changes
+  results — only the representative *order*, which the inverse-scatter
+  erases.
+* **The ≤8-detector bitmask DP.**
+  :meth:`~repro.decoders.matching.MatchingDecoder._dp_matching` enumerates
+  matchings over subsets in pure Python; at the paper's error rates it is
+  the single hottest decoder loop.  ``dp_match`` is a line-for-line C
+  mirror — same mask iteration order, same lowest-free-bit commit, same
+  strict ``<`` tie-breaking, same IEEE double arithmetic — so the chosen
+  pairs (not just their weight) are identical to the Python DP.
+* **The whole small-syndrome decode.**  Even with the DP compiled, a
+  decoded unique syndrome still pays ~20µs of interpreter overhead: slicing
+  dijkstra rows, walking predecessor chains, and looking up per-edge
+  logical parities.  ``dp_decode`` runs the entire entry construction for a
+  ≤8-detector syndrome in one call against a :class:`DecodeContext` of
+  pinned all-pairs matrices — cost extraction, the analytic 1/2-detector
+  rules, the bitmask DP, the retrace and the parity — emitting the exact
+  edge sequence the interpreted path would produce.
+
+Gating: set ``REPRO_DECODER_CKERNELS=0`` to force the fallbacks; when that
+variable is unset the sim-wide ``REPRO_SIM_CKERNELS`` switch applies, so
+one variable still disables every compiled kernel in the repo.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import platform
+import subprocess
+import tempfile
+import threading
+
+import numpy as np
+
+__all__ = ["available", "hash_rows", "dp_match", "dp_decode", "DecodeContext"]
+
+_SOURCE = r"""
+#include <stdint.h>
+#include <math.h>
+
+/* FNV-1a 64-bit over each row of a (rows, nbytes) uint8 matrix. */
+void hash_rows(const uint8_t* data, int64_t rows, int64_t nbytes,
+               uint64_t* out) {
+    for (int64_t r = 0; r < rows; r++) {
+        const uint8_t* p = data + r * nbytes;
+        uint64_t h = 14695981039346656037ULL;
+        for (int64_t b = 0; b < nbytes; b++) {
+            h ^= (uint64_t)p[b];
+            h *= 1099511628211ULL;
+        }
+        out[r] = h;
+    }
+}
+
+/* Exact minimum-weight matching by DP over matched-detector subsets: the
+ * line-for-line mirror of MatchingDecoder._dp_matching.  boundary_cost is
+ * double[count], pair_cost double[count*count]; out_pairs receives up to
+ * count (i, j) index pairs with j == -1 meaning "matched to the boundary",
+ * in the Python retrace order (full mask walking back to empty).  Returns
+ * the number of pairs, or -1 when every complete matching has infinite
+ * cost (the caller falls back to greedy, as the Python DP does). */
+int32_t dp_match(int32_t count, const double* boundary_cost,
+                 const double* pair_cost, int32_t* out_pairs);
+
+/* One-call decode of a small syndrome against a graph's cached all-pairs
+ * arrays: cost extraction, exact matching (analytic for one or two fired
+ * detectors, the bitmask DP for 3..8), shortest-path retrace and the
+ * logical parity, all without crossing back into Python.  ``dist`` is the
+ * (num_nodes, num_nodes) float64 distance matrix, ``pred`` the int32
+ * predecessor matrix (negative = no predecessor, as scipy emits), and
+ * ``flips`` a dense symmetric uint8 matrix with 1 where the (collapsed)
+ * edge between two nodes crosses the logical.  Emits (a, b) node pairs
+ * into out_edges in exactly the Python retrace order and returns their
+ * number, or -1 when the DP hits the infinite dead end (the caller falls
+ * back to the interpreted path, which demotes to greedy). */
+int32_t dp_decode(int32_t count, const int64_t* flagged, int64_t num_nodes,
+                  int64_t boundary, const double* dist, const int32_t* pred,
+                  const uint8_t* flips, int32_t* out_edges,
+                  int32_t* out_parity) {
+    int32_t pair_idx[16];  /* (i, j) index pairs, j == -1 for the boundary */
+    int32_t num_pairs;
+    if (count == 1) {
+        pair_idx[0] = 0; pair_idx[1] = -1;
+        num_pairs = 1;
+    } else if (count == 2) {
+        /* Mirror of _exact_matching's analytic two-detector rule,
+         * including the <= that prefers pairing on exact ties. */
+        double paired = dist[flagged[0] * num_nodes + flagged[1]];
+        double via_boundary = dist[flagged[0] * num_nodes + boundary]
+                            + dist[flagged[1] * num_nodes + boundary];
+        if (paired <= via_boundary) {
+            pair_idx[0] = 0; pair_idx[1] = 1;
+            num_pairs = 1;
+        } else {
+            pair_idx[0] = 0; pair_idx[1] = -1;
+            pair_idx[2] = 1; pair_idx[3] = -1;
+            num_pairs = 2;
+        }
+    } else {
+        double bcost[8];
+        double pcost[64];
+        for (int32_t i = 0; i < count; i++) {
+            const double* row = dist + flagged[i] * num_nodes;
+            bcost[i] = row[boundary];
+            for (int32_t j = 0; j < count; j++)
+                pcost[i * count + j] = row[flagged[j]];
+        }
+        num_pairs = dp_match(count, bcost, pcost, pair_idx);
+        if (num_pairs < 0) return -1;
+    }
+    int32_t n = 0;
+    int32_t parity = 0;
+    for (int32_t k = 0; k < num_pairs; k++) {
+        int32_t i = pair_idx[2 * k];
+        int32_t j = pair_idx[2 * k + 1];
+        const int32_t* row = pred + flagged[i] * num_nodes;
+        int64_t node = (j < 0) ? boundary : flagged[j];
+        for (;;) {
+            int32_t prev = row[node];
+            if (prev < 0) break;
+            out_edges[2 * n] = prev;
+            out_edges[2 * n + 1] = (int32_t)node;
+            n++;
+            parity ^= flips[(int64_t)prev * num_nodes + node];
+            node = prev;
+        }
+    }
+    *out_parity = parity;
+    return n;
+}
+
+int32_t dp_match(int32_t count, const double* boundary_cost,
+                 const double* pair_cost, int32_t* out_pairs) {
+    if (count <= 0) return 0;
+    int32_t size = 1 << count;
+    double best[256];
+    int32_t prev[256], pick_i[256], pick_j[256];
+    for (int32_t m = 0; m < size; m++) { best[m] = INFINITY; prev[m] = -1; }
+    best[0] = 0.0;
+    for (int32_t mask = 0; mask < size - 1; mask++) {
+        double cost = best[mask];
+        /* !(cost < inf) == Python's `cost == infinite`: costs are never NaN
+         * (finite + inf stays inf), so the two predicates agree exactly. */
+        if (!(cost < INFINITY)) continue;
+        int32_t free_bits = ~mask & (size - 1);
+        int32_t low = free_bits & -free_bits;
+        int32_t i = __builtin_ctz((unsigned)low);
+        int32_t with_boundary = mask | low;
+        double cand = cost + boundary_cost[i];
+        if (cand < best[with_boundary]) {
+            best[with_boundary] = cand;
+            prev[with_boundary] = mask;
+            pick_i[with_boundary] = i;
+            pick_j[with_boundary] = -1;
+        }
+        int32_t rest = free_bits ^ low;
+        while (rest) {
+            int32_t pb = rest & -rest;
+            int32_t j = __builtin_ctz((unsigned)pb);
+            int32_t with_pair = mask | low | pb;
+            cand = cost + pair_cost[(int64_t)i * count + j];
+            if (cand < best[with_pair]) {
+                best[with_pair] = cand;
+                prev[with_pair] = mask;
+                pick_i[with_pair] = i;
+                pick_j[with_pair] = j;
+            }
+            rest ^= pb;
+        }
+    }
+    if (prev[size - 1] < 0) return -1;
+    int32_t pairs = 0;
+    int32_t mask = size - 1;
+    while (mask) {
+        out_pairs[2 * pairs] = pick_i[mask];
+        out_pairs[2 * pairs + 1] = pick_j[mask];
+        pairs++;
+        mask = prev[mask];
+    }
+    return pairs;
+}
+"""
+
+#: Largest syndrome the C DP accepts (its DP tables are stack-allocated for
+#: 2^8 masks, matching ``matching._DP_EXACT_MAX``).
+DP_MAX_COUNT = 8
+
+_FNV_OFFSET = np.uint64(14695981039346656037)
+_FNV_PRIME = np.uint64(1099511628211)
+
+_lib: ctypes.CDLL | None = None
+
+
+def _cpu_tag() -> str:
+    """A machine fingerprint for the build cache (see sim/_ckernels.py)."""
+    parts = [platform.machine()]
+    try:
+        with open("/proc/cpuinfo") as handle:
+            for line in handle:
+                if line.startswith(("model name", "flags", "Features")):
+                    parts.append(line.strip())
+                    break
+    except OSError:
+        parts.append(platform.processor())
+    return "|".join(parts)
+
+
+def _build() -> ctypes.CDLL | None:
+    """Compile (or load the cached build of) the kernel library."""
+    digest = hashlib.sha256(
+        (_SOURCE + "|O3-native|" + _cpu_tag()).encode()
+    ).hexdigest()[:16]
+    cache_dir = os.environ.get("REPRO_CKERNEL_DIR") or os.path.join(
+        tempfile.gettempdir(), "repro-ckernels"
+    )
+    so_path = os.path.join(cache_dir, f"deckernels-{digest}.so")
+    if not os.path.exists(so_path):
+        try:
+            os.makedirs(cache_dir, exist_ok=True)
+            src_path = os.path.join(cache_dir, f"deckernels-{digest}.c")
+            with open(src_path, "w") as handle:
+                handle.write(_SOURCE)
+            tmp_path = f"{so_path}.{os.getpid()}.tmp"
+            for extra in (["-march=native"], []):
+                try:
+                    subprocess.run(
+                        ["cc", "-O3", "-fPIC", "-shared", *extra, src_path, "-o", tmp_path],
+                        check=True,
+                        capture_output=True,
+                        timeout=120,
+                    )
+                    break
+                except subprocess.CalledProcessError:
+                    if not extra:
+                        raise
+            os.replace(tmp_path, so_path)  # atomic under concurrent builds
+        except Exception:
+            return None
+    try:
+        lib = ctypes.CDLL(so_path)
+    except OSError:
+        return None
+    lib.hash_rows.argtypes = [
+        ctypes.c_void_p, ctypes.c_int64, ctypes.c_int64, ctypes.c_void_p,
+    ]
+    lib.hash_rows.restype = None
+    lib.dp_match.argtypes = [
+        ctypes.c_int32, ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+    ]
+    lib.dp_match.restype = ctypes.c_int32
+    lib.dp_decode.argtypes = [
+        ctypes.c_int32, ctypes.c_void_p, ctypes.c_int64, ctypes.c_int64,
+        ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p, ctypes.c_void_p,
+        ctypes.c_void_p,
+    ]
+    lib.dp_decode.restype = ctypes.c_int32
+    return lib
+
+
+def available() -> bool:
+    """Whether the compiled decoder kernels can be used in this environment."""
+    global _lib
+    flag = os.environ.get("REPRO_DECODER_CKERNELS")
+    if flag is None:
+        flag = os.environ.get("REPRO_SIM_CKERNELS", "1")
+    if flag == "0":
+        return False
+    if _lib is None:
+        _lib = _build()
+    return _lib is not None
+
+
+def _ptr(array: np.ndarray) -> ctypes.c_void_p:
+    return ctypes.c_void_p(array.ctypes.data)
+
+
+class _DPScratch(threading.local):
+    """Per-thread reusable buffers for :func:`dp_match`.
+
+    The DP itself runs in well under a microsecond, so per-call array
+    allocation and ``ctypes`` pointer construction would dominate.  Each
+    thread (the realtime service decodes from worker threads) gets one set
+    of maximum-size buffers with their pointers extracted once; every call
+    just copies ``count``-sized inputs in.  The pair matrix is flattened
+    with the *runtime* ``count`` stride the kernel indexes by.
+    """
+
+    def __init__(self) -> None:
+        self.boundary = np.empty(DP_MAX_COUNT, dtype=np.float64)
+        self.pair = np.empty(DP_MAX_COUNT * DP_MAX_COUNT, dtype=np.float64)
+        self.out = np.empty(2 * DP_MAX_COUNT, dtype=np.int32)
+        self.ptrs = (_ptr(self.boundary), _ptr(self.pair), _ptr(self.out))
+
+
+_dp_scratch = _DPScratch()
+
+
+class DecodeContext:
+    """One graph's decode arrays pinned for :func:`dp_decode`.
+
+    Holds contiguous copies of the all-pairs distance/predecessor matrices
+    and the dense logical-flip edge matrix, with their ``ctypes`` pointers
+    extracted once — the per-syndrome kernel call then passes raw pointers
+    without touching ``ndarray.ctypes`` again.  Built once per decoder
+    (see ``MatchingDecoder._fast_ctx``) and kept alive by it, so the
+    pointers can never dangle.
+    """
+
+    __slots__ = ("distances", "predecessors", "flips", "num_nodes", "args")
+
+    def __init__(
+        self,
+        distances: np.ndarray,
+        predecessors: np.ndarray,
+        flips: np.ndarray,
+        boundary: int,
+    ) -> None:
+        self.distances = np.ascontiguousarray(distances, dtype=np.float64)
+        self.predecessors = np.ascontiguousarray(predecessors, dtype=np.int32)
+        self.flips = np.ascontiguousarray(flips, dtype=np.uint8)
+        self.num_nodes = int(self.distances.shape[0])
+        self.args = (
+            ctypes.c_int64(self.num_nodes),
+            ctypes.c_int64(int(boundary)),
+            _ptr(self.distances),
+            _ptr(self.predecessors),
+            _ptr(self.flips),
+        )
+
+
+class _DecodeScratch(threading.local):
+    """Per-thread output buffers for :func:`dp_decode`."""
+
+    def __init__(self) -> None:
+        self.capacity = 0
+        self.edges: np.ndarray | None = None
+        self.edges_ptr: ctypes.c_void_p | None = None
+        self.parity = np.zeros(1, dtype=np.int32)
+        self.parity_ptr = _ptr(self.parity)
+
+    def ensure(self, capacity: int) -> None:
+        if self.capacity < capacity:
+            self.edges = np.empty(capacity, dtype=np.int32)
+            self.edges_ptr = _ptr(self.edges)
+            self.capacity = capacity
+
+
+_decode_scratch = _DecodeScratch()
+
+
+def hash_rows(packed: np.ndarray) -> np.ndarray:
+    """FNV-1a 64-bit hash of each row of a ``(rows, nbytes)`` uint8 matrix.
+
+    The C kernel and the NumPy fallback produce identical values (the
+    fallback runs the same xor/multiply recurrence columnwise in wrapping
+    uint64 arithmetic), so the dedup grouping is environment-independent.
+    """
+    packed = np.ascontiguousarray(packed, dtype=np.uint8)
+    if packed.ndim != 2:
+        raise ValueError("hash_rows expects a (rows, nbytes) matrix")
+    rows, nbytes = packed.shape
+    out = np.empty(rows, dtype=np.uint64)
+    if available():
+        assert _lib is not None
+        _lib.hash_rows(
+            _ptr(packed), ctypes.c_int64(rows), ctypes.c_int64(nbytes), _ptr(out)
+        )
+        return out
+    out[...] = _FNV_OFFSET
+    for column in range(nbytes):
+        out ^= packed[:, column].astype(np.uint64)
+        out *= _FNV_PRIME
+    return out
+
+
+def dp_match(
+    boundary_cost: np.ndarray, pair_cost: np.ndarray
+) -> list[tuple[int, int]] | None:
+    """Run the compiled bitmask DP; ``None`` signals the infinite dead end.
+
+    ``boundary_cost`` is float64[count], ``pair_cost`` float64[count, count];
+    the return value is the Python DP's pair list with *indices into the
+    flagged array* (``j == -1`` meaning the boundary), in identical order.
+    Only call when :func:`available` is true and ``count <= DP_MAX_COUNT``.
+    """
+    assert _lib is not None
+    count = int(boundary_cost.shape[0])
+    if not 0 < count <= DP_MAX_COUNT:
+        raise ValueError(f"dp_match handles 1..{DP_MAX_COUNT} detectors, got {count}")
+    scratch = _dp_scratch
+    scratch.boundary[:count] = boundary_cost
+    scratch.pair[: count * count] = np.asarray(
+        pair_cost, dtype=np.float64
+    ).reshape(-1)
+    out = scratch.out
+    pairs = int(_lib.dp_match(count, *scratch.ptrs))
+    if pairs < 0:
+        return None
+    return [(int(out[2 * k]), int(out[2 * k + 1])) for k in range(pairs)]
+
+
+def dp_decode(
+    ctx: DecodeContext, flagged: np.ndarray
+) -> tuple[list[tuple[int, int]], int] | None:
+    """Decode one ≤8-detector syndrome entirely in C against ``ctx``.
+
+    Returns ``(edges, parity)`` — the correction edges in exactly the
+    order the interpreted retrace emits them, plus the logical-flip
+    parity — or ``None`` when the DP hits the infinite dead end (the
+    caller then runs the full interpreted path, which demotes to the
+    greedy matcher).  Only call when :func:`available` is true and
+    ``1 <= flagged.size <= DP_MAX_COUNT``.
+    """
+    assert _lib is not None
+    count = int(flagged.shape[0])
+    if not 0 < count <= DP_MAX_COUNT:
+        raise ValueError(f"dp_decode handles 1..{DP_MAX_COUNT} detectors, got {count}")
+    flagged = np.ascontiguousarray(flagged, dtype=np.int64)
+    scratch = _decode_scratch
+    scratch.ensure(2 * DP_MAX_COUNT * ctx.num_nodes)
+    edges_emitted = int(
+        _lib.dp_decode(
+            count, _ptr(flagged), *ctx.args, scratch.edges_ptr, scratch.parity_ptr
+        )
+    )
+    if edges_emitted < 0:
+        return None
+    assert scratch.edges is not None
+    flat = scratch.edges[: 2 * edges_emitted].tolist()
+    return list(zip(flat[0::2], flat[1::2])), int(scratch.parity[0])

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..obs.metrics import METRICS
+from . import _ckernels
 from .cache import SyndromeCache
 from .detector_graph import DetectorGraph
 
@@ -43,6 +44,10 @@ _OBS_BATCH_SHOTS = METRICS.counter(
 )
 _OBS_BATCH_UNIQUE = METRICS.counter(
     "decode.batch.unique", "unique syndromes decoded after deduplication"
+)
+_OBS_HASH_COLLISIONS = METRICS.counter(
+    "decode.batch.hash_collisions",
+    "dedup hash collisions demoted to the exact row-sort path",
 )
 
 #: Cached entry: (correction edges, logical-flip parity).
@@ -87,6 +92,18 @@ class DecoderBase:
     def _cache_config(self) -> tuple:
         """Hashable decoder configuration mixed into every cache key."""
         raise NotImplementedError
+
+    def _fast_entry(self, flagged: np.ndarray) -> _Entry | None:
+        """Optional compiled shortcut producing a whole ``(edges, flip)`` entry.
+
+        Subclasses may return the exact entry the interpreted
+        :meth:`_edges_for_syndrome` + parity path would build (bit for bit:
+        same edges, same order, same parity) when a kernel can serve this
+        syndrome, or ``None`` to take the interpreted path.  Results are
+        cached identically either way, so the shortcut is invisible except
+        in wall-clock time.
+        """
+        return None
 
     # ------------------------------------------------------------------ #
     # Per-shot entry points
@@ -136,11 +153,25 @@ class DecoderBase:
     ) -> list[tuple[tuple[int, int], ...]]:
         """Per-shot correction edges for a batch, deduplicated like
         :meth:`decode_batch` (the windowed decoder's batch entry point)."""
+        entries, inverse = self.decode_edges_unique(detector_history, final_detectors)
+        return [entries[j] for j in inverse]
+
+    def decode_edges_unique(
+        self, detector_history: np.ndarray, final_detectors: np.ndarray
+    ) -> tuple[list[tuple[tuple[int, int], ...]], np.ndarray]:
+        """Correction edges per *unique* syndrome, plus the scatter map.
+
+        Returns ``(entries, inverse)`` where ``entries[inverse[s]]`` is shot
+        ``s``'s correction — the representation
+        :class:`repro.pipeline.FusedWindowSession` consumes so per-window
+        commit work scales with unique syndromes instead of shots.
+        :meth:`decode_edges_batch` is exactly this followed by the scatter.
+        """
         history, final, first, inverse = self._deduplicate(
             detector_history, final_detectors
         )
         entries = [self._decode_entry(history[i], final[i])[0] for i in first]
-        return [entries[j] for j in inverse]
+        return entries, inverse
 
     # ------------------------------------------------------------------ #
     # Diagnostics
@@ -184,14 +215,34 @@ class DecoderBase:
             return history, final, empty, empty
         events = np.concatenate([history.reshape(shots, -1), final], axis=1)
         packed = np.packbits(events, axis=1)
-        _, first, inverse = np.unique(
-            packed, axis=0, return_index=True, return_inverse=True
-        )
+        if _ckernels.available():
+            # Group by a compiled 64-bit row hash instead of lex-sorting the
+            # whole row matrix; the grouping is verified against the raw
+            # rows, so a hash collision only costs a demotion to the exact
+            # path, never a wrong merge.  Group *order* differs between the
+            # two paths, but every per-shot output is rebuilt through
+            # ``inverse``, which erases the order.
+            hashes = _ckernels.hash_rows(packed)
+            _, first, inverse = np.unique(
+                hashes, return_index=True, return_inverse=True
+            )
+            inverse = inverse.reshape(-1)
+            if not np.array_equiv(packed, packed[first[inverse]]):
+                _OBS_HASH_COLLISIONS.inc()
+                _, first, inverse = np.unique(
+                    packed, axis=0, return_index=True, return_inverse=True
+                )
+                inverse = inverse.reshape(-1)
+        else:
+            _, first, inverse = np.unique(
+                packed, axis=0, return_index=True, return_inverse=True
+            )
+            inverse = inverse.reshape(-1)
         self.batch_shots += shots
         self.batch_unique += len(first)
         _OBS_BATCH_SHOTS.inc(shots)
         _OBS_BATCH_UNIQUE.inc(len(first))
-        return history, final, first, inverse.reshape(-1)
+        return history, final, first, inverse
 
     def _decode_entry(
         self, detector_history: np.ndarray, final_detectors: np.ndarray
@@ -206,15 +257,17 @@ class DecoderBase:
             entry = self.cache.get(key)
             if entry is not None:
                 return entry
-        edges = tuple(
-            (int(a), int(b)) for a, b in self._edges_for_syndrome(flagged)
-        )
-        parity = 0
-        for node_a, node_b in edges:
-            edge = self.graph.edge_between(node_a, node_b)
-            if edge is not None and edge.flips_logical:
-                parity ^= 1
-        entry = (edges, parity)
+        entry = self._fast_entry(flagged)
+        if entry is None:
+            edges = tuple(
+                (int(a), int(b)) for a, b in self._edges_for_syndrome(flagged)
+            )
+            parity = 0
+            for node_a, node_b in edges:
+                edge = self.graph.edge_between(node_a, node_b)
+                if edge is not None and edge.flips_logical:
+                    parity ^= 1
+            entry = (edges, parity)
         if cacheable:
             self.cache.put(key, entry)
         return entry

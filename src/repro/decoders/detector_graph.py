@@ -261,6 +261,26 @@ class DetectorGraph:
         return self._edge_lookup.get((min(node_a, node_b), max(node_a, node_b)))
 
     @cached_property
+    def flips_dense(self) -> np.ndarray | None:
+        """Dense symmetric uint8 matrix of per-edge logical-flip parities.
+
+        ``flips_dense[a, b]`` is 1 exactly when :meth:`edge_between` returns
+        an edge with ``flips_logical`` (after parallel-edge collapsing), so a
+        matrix lookup is interchangeable with the edge-object path.  Used by
+        the compiled :func:`repro.decoders._ckernels.dp_decode` kernel;
+        ``None`` past the all-pairs size gate, where the kernel cannot run
+        anyway.
+        """
+        if self.num_nodes > _ALL_PAIRS_MAX_NODES:
+            return None
+        flips = np.zeros((self.num_nodes, self.num_nodes), dtype=np.uint8)
+        for (node_a, node_b), edge in self._edge_lookup.items():
+            if edge.flips_logical:
+                flips[node_a, node_b] = 1
+                flips[node_b, node_a] = 1
+        return flips
+
+    @cached_property
     def fingerprint(self) -> str:
         """Content digest of the decoding problem this graph defines.
 
@@ -290,8 +310,7 @@ class DetectorGraph:
         ``detector_history`` has shape ``(rounds, num_z_stabs)`` and
         ``final_detectors`` shape ``(num_z_stabs,)``.
         """
-        layers = np.vstack([detector_history, final_detectors[np.newaxis, :]])
-        flat = layers.reshape(-1)
+        flat = np.concatenate((detector_history.reshape(-1), final_detectors))
         return np.nonzero(flat)[0]
 
     @cached_property

@@ -20,12 +20,14 @@ implements the matching itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import networkx as nx
 import numpy as np
 
 from ..api.registry import register_decoder
 from ..obs.metrics import METRICS
+from . import _ckernels
 from .base import DecoderBase
 
 __all__ = ["MatchingDecoder", "STRATEGIES"]
@@ -40,6 +42,9 @@ _OBS_GREEDY = METRICS.counter(
 _OBS_FALLBACKS = METRICS.counter(
     "decode.matching.greedy_fallbacks",
     "exact->greedy fallbacks (size cutoff in auto mode, or a DP dead end)",
+)
+_OBS_DP_KERNEL = METRICS.counter(
+    "decode.matching.dp_kernel", "bitmask-DP matchings served by the C kernel"
 )
 
 
@@ -81,6 +86,57 @@ class MatchingDecoder(DecoderBase):
 
     def _cache_config(self) -> tuple:
         return ("matching", self.strategy, self.max_exact_nodes)
+
+    # ------------------------------------------------------------------ #
+    # Compiled whole-entry shortcut (the DecoderBase._fast_entry hook)
+    # ------------------------------------------------------------------ #
+    @cached_property
+    def _fast_ctx(self) -> "_ckernels.DecodeContext | None":
+        """Pinned all-pairs arrays for the one-call decode kernel.
+
+        ``None`` when the graph is past the all-pairs size gate (the kernel
+        needs the full distance/predecessor matrices resident).  Built
+        lazily on first use so decoders on huge graphs never pay for it.
+        """
+        all_pairs = self.graph._all_pairs
+        flips = self.graph.flips_dense
+        if all_pairs is None or flips is None:
+            return None
+        distances, predecessors = all_pairs
+        return _ckernels.DecodeContext(
+            distances, predecessors, flips, self.graph.boundary_node
+        )
+
+    def _fast_entry(self, flagged: np.ndarray) -> tuple | None:
+        """Serve a ≤8-detector exact matching entirely from the C kernel.
+
+        Returns the identical ``(edges, flip)`` entry the interpreted path
+        builds — same analytic 1/2-detector rules, same DP tie-breaking,
+        same retrace edge order, same parity — or ``None`` to defer (large
+        syndromes, greedy strategy, kernels disabled, or the DP's infinite
+        dead end, which the interpreted path demotes to greedy).  Backend
+        tallies mirror the interpreted path so diagnostics stay
+        kernel-independent.
+        """
+        count = flagged.size
+        if (
+            count > _DP_EXACT_MAX
+            or not self._use_exact(count)
+            or not _ckernels.available()
+        ):
+            return None
+        ctx = self._fast_ctx
+        if ctx is None:
+            return None
+        result = _ckernels.dp_decode(ctx, flagged)
+        if result is None:
+            return None
+        edge_list, parity = result
+        self.matchings_exact += 1
+        _OBS_EXACT.inc()
+        if count > 2:
+            _OBS_DP_KERNEL.inc()
+        return tuple(edge_list), parity
 
     # ------------------------------------------------------------------ #
     # Correction construction (the DecoderBase hook)
@@ -177,8 +233,27 @@ class MatchingDecoder(DecoderBase):
         the boundary or to one partner, so every matching is enumerated once
         (O(2^n * n) total — far below blossom's constant for the small
         syndromes this handles).
+
+        When the compiled decoder kernels are available
+        (:mod:`repro.decoders._ckernels`) the same DP runs in C; the kernel
+        mirrors this loop line for line (iteration order, strict ``<``
+        tie-breaking, IEEE doubles), so the chosen pairs are identical —
+        ``tests/test_pipeline.py`` pins both modes against each other.
         """
         count = flagged.size
+        if _ckernels.available() and count <= _ckernels.DP_MAX_COUNT:
+            index_pairs = _ckernels.dp_match(
+                distances[:, boundary], distances[:, flagged]
+            )
+            if index_pairs is None:
+                # Infinite-cost dead end — same demotion as the Python DP.
+                _OBS_FALLBACKS.inc()
+                return self._greedy_matching(flagged, distances, boundary)
+            _OBS_DP_KERNEL.inc()
+            return [
+                (int(flagged[i]), boundary) if j < 0 else (int(flagged[i]), int(flagged[j]))
+                for i, j in index_pairs
+            ]
         nodes = [int(node) for node in flagged]
         boundary_cost = [float(distances[i, boundary]) for i in range(count)]
         pair_cost = [

@@ -1,0 +1,17 @@
+"""Fused zero-copy sim->decode pipeline (see :mod:`repro.pipeline.fused`).
+
+Enabled per experiment via the digest-exempt ``execution.fused`` config
+flag; results are bit-identical to the two-step path, only faster.
+"""
+
+from .fused import FusedPipeline, FusedRun, FusedWindowSession
+from .ring import PackedRing, pack_chunk, unpack_chunk
+
+__all__ = [
+    "FusedPipeline",
+    "FusedRun",
+    "FusedWindowSession",
+    "PackedRing",
+    "pack_chunk",
+    "unpack_chunk",
+]

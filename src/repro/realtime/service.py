@@ -31,7 +31,7 @@ from ..obs.metrics import METRICS
 from ..obs.trace import span
 from .accounting import LatencyRecorder, StreamReport
 from .stream import SyndromeStream
-from .window import WindowedDecoder, WindowSession
+from .window import WindowedDecoder
 
 __all__ = ["DecodeService"]
 
@@ -56,7 +56,8 @@ class _StreamTask:
         self.stream_id = stream_id
         self.stream = stream
         self.recorder = LatencyRecorder()
-        self.session: WindowSession = windowed.session(stream.shots, self.recorder)
+        # WindowSession or FusedWindowSession — same protocol either way.
+        self.session = windowed.session(stream.shots, self.recorder)
         self.chunk_iter = stream.chunks()
         self.exhausted = False
         self.finished = False
@@ -104,6 +105,10 @@ class DecodeService:
         decode through this one cache — streams of the same code and noise
         overwhelmingly share sparse syndromes, so one stream's decode work
         serves every other stream the service multiplexes.
+    fused:
+        Per-stream sessions use the bit-packed ring buffers of
+        :class:`repro.pipeline.FusedWindowSession` (bit-identical results,
+        bounded packed memory per stream).
     """
 
     def __init__(
@@ -116,6 +121,7 @@ class DecodeService:
         workers: int = 4,
         queue_depth: int | None = None,
         cache_size: int | None = None,
+        fused: bool = False,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -124,6 +130,7 @@ class DecodeService:
         self.method = method
         self.max_exact_nodes = max_exact_nodes
         self.strategy = strategy
+        self.fused = bool(fused)
         self.workers = int(workers)
         self.queue_depth = int(queue_depth) if queue_depth is not None else max(2, workers)
         if self.queue_depth <= 0:
@@ -163,6 +170,7 @@ class DecodeService:
             workers=workers,
             queue_depth=queue_depth,
             cache_size=config.decoder.cache_size,
+            fused=execution.fused,
         )
 
     # ------------------------------------------------------------------ #
@@ -196,6 +204,7 @@ class DecodeService:
                         max_exact_nodes=self.max_exact_nodes,
                         strategy=self.strategy,
                         cache=self.cache,
+                        fused=self.fused,
                     ),
                 )
             )

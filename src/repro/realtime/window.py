@@ -31,8 +31,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from ..pipeline.fused import FusedWindowSession
 
 from ..codes.base import StabilizerCode
 from ..decoders import DetectorGraph, SyndromeCache, make_decoder
@@ -71,6 +75,12 @@ class WindowedDecoder:
         :class:`~repro.decoders.SyndromeCache` to pool syndromes across
         decoders (the decode service shares one per service), or
         ``cache_size=0`` to disable reuse.
+    fused:
+        Route sessions through the bit-packed ring buffers of
+        :class:`repro.pipeline.FusedWindowSession` instead of the dict
+        buffer of :class:`WindowSession`.  Results are bit-identical (the
+        fused session shares this module's commit logic); only the memory
+        and allocation profile changes.
     """
 
     code: StabilizerCode
@@ -83,6 +93,7 @@ class WindowedDecoder:
     strategy: str | None = None
     cache: SyndromeCache | None = None
     cache_size: int | None = None
+    fused: bool = False
     _decoders: dict = field(init=False, default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -133,8 +144,15 @@ class WindowedDecoder:
     # ------------------------------------------------------------------ #
     # Entry points
     # ------------------------------------------------------------------ #
-    def session(self, shots: int, recorder: LatencyRecorder | None = None) -> "WindowSession":
+    def session(
+        self, shots: int, recorder: LatencyRecorder | None = None
+    ) -> "WindowSession | FusedWindowSession":
         """Start an incremental decode session for a batch of ``shots`` shots."""
+        if self.fused:
+            # Imported lazily: repro.pipeline builds on this module.
+            from ..pipeline.fused import FusedWindowSession
+
+            return FusedWindowSession(windowed=self, shots=shots, recorder=recorder)
         return WindowSession(windowed=self, shots=shots, recorder=recorder)
 
     def decode_stream(

@@ -98,6 +98,10 @@ class RoundWorkspace:
       ``np.zeros`` of the baseline hoisted to one allocation per run.
     """
 
+    #: Becomes ``True`` (as an instance attribute) once :meth:`release` runs;
+    #: live workspaces read the class-level ``False``.
+    released: bool = False
+
     def __init__(
         self,
         shots: int,
@@ -169,3 +173,16 @@ class RoundWorkspace:
             full = np.empty((shots, gates), dtype=np.uint8)
             full[:] = is_z.astype(np.uint8)[np.newaxis, :]
             self.layer_is_z_full.append(full)
+
+    def release(self) -> None:
+        """Drop every pinned buffer so a half-consumed run frees its memory.
+
+        :meth:`~repro.sim.LeakageSimulator.run_incremental` calls this from
+        its ``finally`` block: a consumer that ``close()``s the generator
+        mid-stream would otherwise keep the entire round-shaped scratch set
+        alive for as long as it holds the (exhausted) generator object.
+        Clearing the instance ``__dict__`` severs every buffer reference in
+        one step; afterwards only :attr:`released` is readable.
+        """
+        self.__dict__.clear()
+        self.released = True

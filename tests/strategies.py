@@ -29,6 +29,8 @@ __all__ = [
     "bit_widths",
     "bit_patterns",
     "gf2_matrices",
+    "detector_blocks",
+    "detector_chunk_pairs",
     "stabilizer_supports",
     "group_bases_lists",
     "scenario_cells",
@@ -56,6 +58,41 @@ def bit_patterns(draw, max_width: int = 10) -> tuple[int, int]:
     width = draw(bit_widths(max_width))
     value = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
     return value, width
+
+
+# --------------------------------------------------------------------------- #
+# Detector chunks (repro.pipeline packing round trips)
+# --------------------------------------------------------------------------- #
+@st.composite
+def detector_blocks(
+    draw, max_shots: int = 5, max_rounds: int = 4, max_detectors: int = 20
+) -> np.ndarray:
+    """A ``(shots, rounds, num_detectors)`` boolean detector record.
+
+    Deliberately includes the packing edge cases: zero shots, a single
+    round, and detector counts that are not multiples of 8 (the last packed
+    byte carries padding bits).
+    """
+    shots = draw(st.integers(min_value=0, max_value=max_shots))
+    rounds = draw(st.integers(min_value=1, max_value=max_rounds))
+    detectors = draw(st.integers(min_value=1, max_value=max_detectors))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return np.random.default_rng(seed).random((shots, rounds, detectors)) < 0.5
+
+
+@st.composite
+def detector_chunk_pairs(
+    draw, max_shots: int = 6, max_detectors: int = 20
+) -> tuple[np.ndarray, np.ndarray]:
+    """Two same-shape ``(shots, num_detectors)`` chunks (for XOR linearity)."""
+    shots = draw(st.integers(min_value=0, max_value=max_shots))
+    detectors = draw(st.integers(min_value=1, max_value=max_detectors))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    return (
+        rng.random((shots, detectors)) < 0.5,
+        rng.random((shots, detectors)) < 0.5,
+    )
 
 
 # --------------------------------------------------------------------------- #

@@ -51,6 +51,7 @@ def test_fixture_set_is_present():
         "golden_surface_d3_drift.json",
         "golden_surface_d3_bursts.json",
         "golden_toric_d3_floods.json",
+        "golden_surface_d3_windowed.json",
     } <= names
 
 
@@ -99,21 +100,21 @@ def test_decoders_reproduce_pinned_predictions(path, method):
     assert int((predictions ^ observable).sum()) == pinned["failures"]
 
 
-@pytest.mark.parametrize("method", ["matching", "union_find"])
-@pytest.mark.parametrize("path", FIXTURE_PATHS, ids=lambda p: p.stem)
-def test_memory_experiment_reproduces_pinned_summary(path, method):
-    """End-to-end LER/metrics summary matches the pinned JSON exactly."""
-    fixture = _load(path)
-    scenario = fixture["scenario"]
-    result = MemoryExperiment(
+def _run_pinned_experiment(scenario, method, fused=False):
+    """Replay a fixture's MemoryExperiment (window-aware, optionally fused)."""
+    return MemoryExperiment(
         code=_build_code(scenario),
         noise=_noise(scenario),
         policy=make_policy(scenario["policy"]),
         decoder_method=method,
         seed=scenario["seed"],
+        window_rounds=scenario.get("window_rounds"),
+        commit_rounds=scenario.get("commit_rounds"),
+        fused=fused,
     ).run(shots=scenario["shots"], rounds=scenario["rounds"])
-    summary = result.summary()
-    pinned = fixture["memory_summaries"][method]
+
+
+def _assert_summary_matches(summary, pinned):
     assert set(summary) == set(pinned)
     for key, expected in pinned.items():
         actual = summary[key]
@@ -121,3 +122,24 @@ def test_memory_experiment_reproduces_pinned_summary(path, method):
             assert math.isclose(actual, expected, rel_tol=1e-12, abs_tol=1e-15), key
         else:
             assert actual == expected, key
+
+
+@pytest.mark.parametrize("method", ["matching", "union_find"])
+@pytest.mark.parametrize("path", FIXTURE_PATHS, ids=lambda p: p.stem)
+def test_memory_experiment_reproduces_pinned_summary(path, method):
+    """End-to-end LER/metrics summary matches the pinned JSON exactly."""
+    fixture = _load(path)
+    result = _run_pinned_experiment(fixture["scenario"], method)
+    _assert_summary_matches(result.summary(), fixture["memory_summaries"][method])
+
+
+@pytest.mark.parametrize("method", ["matching", "union_find"])
+@pytest.mark.parametrize("path", FIXTURE_PATHS, ids=lambda p: p.stem)
+def test_fused_pipeline_reproduces_pinned_summary(path, method):
+    """The fused zero-copy path replays every golden fixture bit-identically
+    — including the perf diagnostics — against summaries that were pinned on
+    the two-step path.  The fixtures are NOT regenerated for the fused
+    pipeline; equality against the existing bytes is the point."""
+    fixture = _load(path)
+    result = _run_pinned_experiment(fixture["scenario"], method, fused=True)
+    _assert_summary_matches(result.summary(), fixture["memory_summaries"][method])

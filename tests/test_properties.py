@@ -12,6 +12,8 @@ from hypothesis import strategies as st
 from strategies import (
     bit_patterns,
     bit_widths,
+    detector_blocks,
+    detector_chunk_pairs,
     gf2_matrices,
     group_bases_lists,
     stabilizer_supports,
@@ -61,6 +63,55 @@ def test_eraser_flag_monotone_in_popcount(pattern):
         # Setting one more bit can never un-flag a pattern.
         for bit in range(width):
             assert eraser_flags_pattern(value | (1 << bit), width)
+
+
+# --------------------------------------------------------------------------- #
+# Packed detector chunks (repro.pipeline)
+# --------------------------------------------------------------------------- #
+@given(detector_blocks())
+def test_pack_unpack_round_trip_identity(block):
+    """pack -> unpack is the identity for every chunk shape, including zero
+    shots and widths that leave padding bits in the last packed byte."""
+    from repro.pipeline import pack_chunk, unpack_chunk
+
+    for round_index in range(block.shape[1]):
+        chunk = block[:, round_index, :]
+        assert np.array_equal(unpack_chunk(pack_chunk(chunk), chunk.shape[1]), chunk)
+
+
+@given(detector_blocks())
+def test_ring_push_slice_unpack_is_identity(block):
+    """pack -> ring slot -> window slice -> unpack reproduces the record."""
+    from repro.pipeline import PackedRing
+
+    shots, rounds, detectors = block.shape
+    ring = PackedRing(capacity=rounds, shots=shots, num_detectors=detectors)
+    for round_index in range(rounds):
+        ring.push(round_index, block[:, round_index, :])
+    assert np.array_equal(ring.window(0, rounds), block)
+    for round_index in range(rounds):
+        assert np.array_equal(ring.read_round(round_index), block[:, round_index, :])
+
+
+@given(detector_chunk_pairs())
+def test_packing_is_gf2_linear(pair):
+    """pack(a ^ b) == pack(a) ^ pack(b): the property that makes XOR-ing
+    boundary artifacts in the packed domain exact, not approximate."""
+    from repro.pipeline import pack_chunk
+
+    a, b = pair
+    assert np.array_equal(pack_chunk(a ^ b), pack_chunk(a) ^ pack_chunk(b))
+
+
+@given(detector_chunk_pairs())
+def test_ring_xor_round_matches_boolean_xor(pair):
+    from repro.pipeline import PackedRing
+
+    chunk, mask = pair
+    ring = PackedRing(capacity=1, shots=chunk.shape[0], num_detectors=chunk.shape[1])
+    ring.push(0, chunk)
+    ring.xor_round(0, mask)
+    assert np.array_equal(ring.read_round(0), chunk ^ mask)
 
 
 # --------------------------------------------------------------------------- #

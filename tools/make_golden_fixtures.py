@@ -12,10 +12,19 @@ Run from the repository root (only needed when an *intentional* behaviour
 change invalidates the pinned numbers):
 
     PYTHONPATH=src python tools/make_golden_fixtures.py
+
+``--only NAME`` regenerates a single scenario (e.g. one newly added to
+``SCENARIOS``) and leaves every other fixture file byte-identical.
+
+Scenarios may carry ``window_rounds`` / ``commit_rounds`` keys, in which
+case the pinned ``MemoryExperiment`` summaries decode through the sliding
+window path; the ``decoders`` section always pins the offline batch decode
+of the recorded arrays, which is well-defined for every scenario.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 from pathlib import Path
@@ -108,6 +117,20 @@ SCENARIOS = [
         "rounds": 5,
         "seed": 47,
     },
+    {
+        "name": "surface_d3_windowed",
+        "family": "surface",
+        "distance": 3,
+        "noise": "paper",
+        "p": 2e-3,
+        "leakage_ratio": 1.0,
+        "policy": "eraser+m",
+        "shots": 24,
+        "rounds": 6,
+        "seed": 53,
+        "window_rounds": 3,
+        "commit_rounds": 1,
+    },
 ]
 
 
@@ -151,6 +174,8 @@ def make_fixture(scenario: dict) -> dict:
             policy=make_policy(scenario["policy"]),
             decoder_method=method,
             seed=scenario["seed"],
+            window_rounds=scenario.get("window_rounds"),
+            commit_rounds=scenario.get("commit_rounds"),
         ).run(shots=scenario["shots"], rounds=scenario["rounds"])
         summaries[method] = result.summary()
 
@@ -164,9 +189,22 @@ def make_fixture(scenario: dict) -> dict:
     }
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only",
+        metavar="NAME",
+        help="regenerate just this scenario, leaving every other fixture untouched",
+    )
+    args = parser.parse_args(argv)
+    scenarios = SCENARIOS
+    if args.only is not None:
+        scenarios = [s for s in SCENARIOS if s["name"] == args.only]
+        if not scenarios:
+            known = ", ".join(s["name"] for s in SCENARIOS)
+            parser.error(f"unknown scenario {args.only!r} (known: {known})")
     FIXTURES_DIR.mkdir(parents=True, exist_ok=True)
-    for scenario in SCENARIOS:
+    for scenario in scenarios:
         fixture = make_fixture(scenario)
         path = FIXTURES_DIR / f"golden_{scenario['name']}.json"
         path.write_text(json.dumps(fixture, indent=1, sort_keys=True))
