@@ -10,6 +10,12 @@ declarative :class:`~repro.api.config.ExperimentConfig`:
 * ``sweep`` — either a named preset (the legacy ``python -m repro.sweeps``
   workloads) or a config-driven grid via repeated ``--axis``;
 * ``realtime`` — N concurrent simulator streams through the decode service;
+* ``serve`` — the network decode server (``repro.serve``): sharded workers
+  behind a TCP frame protocol (optionally a websocket gateway), e.g.::
+
+    python -m repro serve --port 7571 --shards 4
+    python -m repro serve --status --port 7571   # live SLO snapshot
+
 * ``fuzz`` — the registry-driven scenario-matrix fuzzer, e.g.::
 
     python -m repro fuzz --budget smoke --report fuzz_report.json
@@ -281,6 +287,89 @@ def _cmd_realtime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    if args.status:
+        from .serve.client import ServeClient
+
+        async def fetch() -> dict:
+            async with ServeClient() as client:
+                await client.connect(args.host, args.port, tenant="status")
+                return await client.status()
+
+        try:
+            print(json.dumps(asyncio.run(fetch()), indent=2, sort_keys=True))
+        except (ConnectionError, OSError) as exc:
+            print(f"error: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
+    from .serve import DecodeServer, ServerConfig, WebSocketGateway
+
+    config = _load_config(args)
+    execution = config.execution
+    server_config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards if args.shards is not None else (execution.serve_shards or 2),
+        workers_per_shard=args.workers_per_shard,
+        queue_depth=args.queue_depth,
+        max_streams=(
+            args.max_streams
+            if args.max_streams is not None
+            else (execution.serve_max_streams or 256)
+        ),
+        max_streams_per_tenant=args.max_streams_per_tenant,
+        tenant_rate=args.tenant_rate,
+        window_rounds=execution.window_rounds or 4,
+        commit_rounds=execution.commit_rounds,
+        method=config.decoder.name,
+        strategy=config.decoder.strategy,
+        cache_size=config.decoder.cache_size,
+        fused=not args.no_fused,
+        coalesce=not args.no_coalesce,
+    )
+
+    async def serve() -> None:
+        server = DecodeServer(server_config)
+        await server.start()
+        gateway = None
+        if args.websocket is not None:
+            gateway = WebSocketGateway(server, host=args.host, port=args.websocket)
+            await gateway.start()
+        banner = f"serving on {args.host}:{server.port}"
+        if gateway is not None:
+            banner += f" (websocket on {gateway.port})"
+        banner += (
+            f" — {server_config.shards} shards x "
+            f"{server_config.workers_per_shard} workers, "
+            f"admission cap {server_config.max_streams}"
+        )
+        print(banner, flush=True)
+        try:
+            if args.serve_seconds is not None:
+                await asyncio.sleep(args.serve_seconds)
+            else:
+                assert server._server is not None
+                await server._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if gateway is not None:
+                await gateway.stop()
+            await server.shutdown()
+            status = server.status()
+            status.pop("shards", None)
+            print(json.dumps(status, indent=2, sort_keys=True))
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -397,6 +486,67 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_config_arguments(realtime_parser)
     realtime_parser.set_defaults(handler=_cmd_realtime)
+
+    serve_parser = sub.add_parser(
+        "serve", help="serve decode streams over the network (repro.serve)"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind/connect host")
+    serve_parser.add_argument(
+        "--port", type=int, default=7571, help="TCP port (default: 7571; 0 picks free)"
+    )
+    serve_parser.add_argument(
+        "--websocket",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also expose a websocket gateway on PORT (0 picks free)",
+    )
+    serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="decode shards (default: execution.serve_shards, else 2)",
+    )
+    serve_parser.add_argument(
+        "--workers-per-shard", type=int, default=2, help="worker threads per shard"
+    )
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=None, help="pending-window queue bound per shard"
+    )
+    serve_parser.add_argument(
+        "--max-streams",
+        type=int,
+        default=None,
+        help="admission cap (default: execution.serve_max_streams, else 256)",
+    )
+    serve_parser.add_argument(
+        "--max-streams-per-tenant", type=int, default=64, help="per-tenant admission cap"
+    )
+    serve_parser.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=None,
+        help="per-tenant token-bucket rate in round chunks/s (default: unmetered)",
+    )
+    serve_parser.add_argument(
+        "--no-coalesce", action="store_true", help="disable cross-stream batch coalescing"
+    )
+    serve_parser.add_argument(
+        "--no-fused", action="store_true", help="decode through unpacked window sessions"
+    )
+    serve_parser.add_argument(
+        "--serve-seconds",
+        type=float,
+        default=None,
+        help="serve for this long, then drain and exit (CI smoke mode)",
+    )
+    serve_parser.add_argument(
+        "--status",
+        action="store_true",
+        help="connect to a running server and print its live SLO snapshot",
+    )
+    _add_config_arguments(serve_parser)
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     fuzz_parser = sub.add_parser(
         "fuzz", help="fuzz every registered scenario combination"

@@ -180,6 +180,10 @@ class ExecutionConfig:
     excluded from the sweep cache key.  ``fused`` routes decoding through
     the zero-copy :mod:`repro.pipeline` (bit-identical results, fewer
     allocations); it is performance-only and key-exempt like ``workers``.
+    ``serve_shards`` / ``serve_max_streams`` shape the network decode
+    server (``python -m repro serve``): shard count and the server-wide
+    admission cap.  They describe a serving deployment, never an
+    experiment — digest-exempt like the other perf knobs.
     """
 
     shots: int = 100
@@ -193,6 +197,8 @@ class ExecutionConfig:
     workers: int | None = None
     telemetry: str | None = None
     fused: bool = False
+    serve_shards: int | None = None
+    serve_max_streams: int | None = None
 
     def validate(self) -> None:
         if self.shots <= 0 or self.rounds <= 0:
@@ -213,6 +219,10 @@ class ExecutionConfig:
                 raise ValueError("commit_rounds must lie in [1, window_rounds]")
         if self.workers is not None and self.workers <= 0:
             raise ValueError("workers must be positive")
+        if self.serve_shards is not None and self.serve_shards <= 0:
+            raise ValueError("serve_shards must be positive")
+        if self.serve_max_streams is not None and self.serve_max_streams <= 0:
+            raise ValueError("serve_max_streams must be positive")
 
     @property
     def effective_leakage_sampling(self) -> bool:
@@ -362,6 +372,8 @@ class ExperimentConfig:
         payload["execution"].pop("workers")
         payload["execution"].pop("telemetry")
         payload["execution"].pop("fused")
+        payload["execution"].pop("serve_shards")
+        payload["execution"].pop("serve_max_streams")
         payload["code"]["name"] = CODES.canonical(payload["code"]["name"])
         payload["decoder"]["name"] = DECODERS.canonical(payload["decoder"]["name"])
         payload["policy"]["name"] = POLICIES.canonical(payload["policy"]["name"])

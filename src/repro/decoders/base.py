@@ -177,6 +177,17 @@ class DecoderBase:
     # Diagnostics
     # ------------------------------------------------------------------ #
     @property
+    def decode_identity(self) -> tuple:
+        """Hashable (graph fingerprint, decoder tuning) identity.
+
+        Two decoders with equal identity produce bit-identical corrections
+        for every syndrome (same graph content, same algorithm tuning) and
+        share cache entries — the compatibility key the decode service's
+        cross-stream coalescer groups windows by.
+        """
+        return self._cache_prefix
+
+    @property
     def batch_dedup_ratio(self) -> float:
         """Fraction of batched shots served by another shot's decode.
 

@@ -41,7 +41,7 @@ from ..obs.metrics import METRICS
 from ..obs.trace import span
 from ..realtime.accounting import LatencyRecorder
 from ..realtime.stream import FinalChunk, RoundChunk
-from ..realtime.window import WindowedDecoder, _commit_edges
+from ..realtime.window import WindowedDecoder, _commit_edges, entries_commit
 from ..sim import LeakageSimulator, RunResult
 from .ring import PackedRing
 
@@ -235,27 +235,42 @@ class FusedWindowSession:
         end = self.start + window
         return end < self.windowed.rounds and end < self.ring.next_round
 
-    def step(self) -> None:
-        """Decode the next intermediate window and commit its oldest rounds."""
+    @property
+    def rounds_fed(self) -> int:
+        """Rounds buffered so far (the next expected chunk index)."""
+        return self.ring.next_round
+
+    def window_inputs(self) -> tuple[np.ndarray, np.ndarray]:
+        """The next ready window's ``(history, context)`` decode inputs.
+
+        Both arrays are this session's reusable unpack buffers — valid until
+        the next ``window_inputs`` / ``step`` call, so a coalescer stacking
+        several sessions' inputs must copy (``np.concatenate`` does).
+        """
         if not self.ready():
             raise RuntimeError("no window is ready; feed more chunks first")
+        window = self.windowed.effective_window
+        self.ring.window(self.start, window, out=self._history)
+        self.ring.read_round(self.start + window, out=self._context)
+        return self._history, self._context
+
+    def commit_window(
+        self,
+        entries: list[tuple[tuple[int, int], ...]],
+        inverse: np.ndarray,
+        started: float | None = None,
+    ) -> None:
+        """Commit one decoded window from per-unique-syndrome ``entries``.
+
+        Same contract as :meth:`repro.realtime.window.WindowSession.
+        commit_window`; artifacts are XOR-ed in the packed domain.
+        """
         window = self.windowed.effective_window
         commit = self.windowed.commit_rounds
         assert commit is not None  # WindowedDecoder.__post_init__ resolves it
         start = self.start
-        started = time.perf_counter()
-
-        self.ring.window(start, window, out=self._history)
-        self.ring.read_round(start + window, out=self._context)
-        graph, decoder = self.windowed.decoder_for(window)
-        entries, inverse = decoder.decode_edges_unique(self._history, self._context)
-        flips = np.zeros(len(entries), dtype=bool)
-        masks = np.zeros((len(entries), self.num_z_stabs), dtype=bool)
-        for index, edges in enumerate(entries):
-            flip, artifact_stabs = _commit_edges(edges, graph, commit)
-            flips[index] = flip
-            for z_local in artifact_stabs:
-                masks[index, z_local] ^= True
+        graph, _ = self.windowed.decoder_for(window)
+        flips, masks = entries_commit(entries, graph, commit)
         self._parity ^= flips[inverse]
         if masks.any():
             # Scatter the unique artifact masks back over shots and XOR them
@@ -269,7 +284,16 @@ class FusedWindowSession:
         self.windows_decoded += 1
         _OBS_WINDOWS.inc()
         if self.recorder is not None:
-            self.recorder.record(commit, time.perf_counter() - started)
+            elapsed = 0.0 if started is None else time.perf_counter() - started
+            self.recorder.record(commit, elapsed)
+
+    def step(self) -> None:
+        """Decode the next intermediate window and commit its oldest rounds."""
+        started = time.perf_counter()
+        history, context = self.window_inputs()
+        _, decoder = self.windowed.decoder_for(self.windowed.effective_window)
+        entries, inverse = decoder.decode_edges_unique(history, context)
+        self.commit_window(entries, inverse, started)
 
     def finish(self, final: FinalChunk) -> np.ndarray:
         """Decode the tail window against the final readout; return predictions."""

@@ -37,7 +37,7 @@ Quick start::
 """
 
 from .accounting import LatencyRecorder, StreamReport, WindowTiming
-from .service import DecodeService
+from .service import DecodeService, ServiceClosed, ServiceObserver, StreamHandle
 from .stream import FinalChunk, ReplayStream, RoundChunk, SimulatorStream, SyndromeStream
 from .window import WindowedDecoder, WindowSession
 
@@ -50,6 +50,9 @@ __all__ = [
     "WindowedDecoder",
     "WindowSession",
     "DecodeService",
+    "ServiceClosed",
+    "ServiceObserver",
+    "StreamHandle",
     "LatencyRecorder",
     "StreamReport",
     "WindowTiming",

@@ -1,11 +1,11 @@
 """A batched decode service multiplexing many syndrome streams.
 
 One logical qubit produces one syndrome stream; a control system serves
-many.  :class:`DecodeService` models that shape in software: a producer
+many.  :class:`DecodeService` models that shape in software: a scheduler
 loop round-robins over the attached streams pulling one round chunk at a
 time (the multiplexer), window-decode jobs are pushed onto a *bounded*
 queue, and a pool of worker threads drains it.  When the queue is full the
-producer blocks — backpressure — so buffered-but-undecoded syndrome data
+scheduler blocks — backpressure — so buffered-but-undecoded syndrome data
 stays bounded no matter how many streams are attached, exactly the
 guarantee a real-time decoder has to make.
 
@@ -15,6 +15,29 @@ throughput comes from decoding *different* streams concurrently.  Every
 stream gets a :class:`~repro.realtime.accounting.LatencyRecorder`, and the
 final :class:`StreamReport` prices the measured latencies against the
 microarchitecture cost model's round cadence.
+
+Two front doors share this machinery:
+
+* :meth:`DecodeService.run` — the batch entry point: hand it a list of
+  :class:`~repro.realtime.stream.SyndromeStream` sources and it decodes
+  them all to completion on an ephemeral thread pool (started for the
+  call, fully joined before it returns).
+* :meth:`DecodeService.open_stream` — the online entry point used by the
+  :mod:`repro.serve` network front end: it returns a :class:`StreamHandle`
+  that syndrome rounds are *pushed* into as they arrive off the wire, on a
+  persistent pool that serves many handles concurrently and is shut down
+  by :meth:`DecodeService.close` (idempotent, safe to call from several
+  threads, and raceless against streams closing mid-window).
+
+With ``coalesce=True`` the scheduler merges windows that become ready on
+the same pass across streams with equal decoder identity
+(:attr:`~repro.decoders.base.DecoderBase.decode_identity`) into a single
+:meth:`~repro.decoders.base.DecoderBase.decode_edges_unique` call and
+demuxes the per-unique-syndrome results back through each session's
+``inverse`` slice.  Because that decode is deterministic per unique
+syndrome and independent of batch composition, coalesced results are
+bit-identical to the uncoalesced path — the dispatch cost is amortised,
+the answers are not changed.
 """
 
 from __future__ import annotations
@@ -22,7 +45,8 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Sequence
+from collections import deque
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -30,10 +54,10 @@ from ..decoders import SyndromeCache
 from ..obs.metrics import METRICS
 from ..obs.trace import span
 from .accounting import LatencyRecorder, StreamReport
-from .stream import SyndromeStream
+from .stream import FinalChunk, RoundChunk, SyndromeStream
 from .window import WindowedDecoder
 
-__all__ = ["DecodeService"]
+__all__ = ["DecodeService", "ServiceClosed", "ServiceObserver", "StreamHandle"]
 
 _POLL_SECONDS = 0.05
 
@@ -47,29 +71,96 @@ _OBS_BACKPRESSURE = METRICS.counter(
 _OBS_WINDOWS = METRICS.counter(
     "realtime.windows_decoded", "window decode jobs completed by the workers"
 )
+_OBS_COALESCED = METRICS.counter(
+    "realtime.windows_coalesced",
+    "windows decoded as part of a multi-stream coalesced batch",
+)
+
+
+class ServiceClosed(RuntimeError):
+    """Raised when a stream is opened or fed after the service shut down."""
+
+
+class ServiceObserver:
+    """Hook points the serving layer overrides for live SLO accounting.
+
+    Every method is a no-op here, so :class:`DecodeService` can call them
+    unconditionally.  Callbacks fire on scheduler/worker threads — keep
+    overrides cheap and thread-safe.
+    """
+
+    def on_window(
+        self,
+        stream_id: int,
+        label: str | None,
+        committed_rounds: int,
+        service_seconds: float,
+        wait_seconds: float,
+    ) -> None:
+        """One window committed for one stream."""
+
+    def on_batch(self, windows: int) -> None:
+        """One decode dispatch served ``windows`` stream windows."""
+
+    def on_queue_depth(self, depth: int) -> None:
+        """Pending-window queue depth after an enqueue."""
+
+    def on_stream_done(
+        self, stream_id: int, label: str | None, error: BaseException | None
+    ) -> None:
+        """A stream finished (successfully, aborted, or with ``error``)."""
 
 
 class _StreamTask:
-    """Mutable per-stream state shared between the producer and the workers."""
+    """Mutable per-stream state shared between the scheduler and workers.
 
-    def __init__(self, stream_id: int, stream: SyndromeStream, windowed: WindowedDecoder):
+    ``mode`` is ``"pull"`` (a :class:`SyndromeStream` the scheduler drains)
+    or ``"push"`` (rounds arrive through a :class:`StreamHandle` into the
+    ``pending`` deque).  Either way the session only ever advances on the
+    scheduler thread and decodes on a worker thread, never concurrently.
+    """
+
+    def __init__(
+        self,
+        stream_id: int,
+        windowed: WindowedDecoder,
+        shots: int,
+        rounds: int,
+        stream: SyndromeStream | None = None,
+        label: str | None = None,
+    ):
         self.stream_id = stream_id
         self.stream = stream
+        self.mode = "pull" if stream is not None else "push"
+        self.label = label
+        self.shots = int(shots)
+        self.rounds = int(rounds)
+        self.num_z_stabs = sum(
+            1 for stab in windowed.code.stabilizers if stab.basis == "Z"
+        )
         self.recorder = LatencyRecorder()
         # WindowSession or FusedWindowSession — same protocol either way.
-        self.session = windowed.session(stream.shots, self.recorder)
-        self.chunk_iter = stream.chunks()
+        self.session = windowed.session(self.shots, self.recorder)
+        self.chunk_iter = stream.chunks() if stream is not None else None
         self.exhausted = False
+        self.pending: deque[RoundChunk] = deque()
+        self.rounds_submitted = 0
+        self.final_chunk: FinalChunk | None = None
         self.finished = False
+        self.finalized = False
+        self.aborted = False
         self.in_flight = False
         self.error: BaseException | None = None
         self.predictions: np.ndarray | None = None
         self.failures: int | None = None
         self.wall_seconds = 0.0
+        self.done_event = threading.Event()
+        self.done_callbacks: list[Callable[[], None]] = []
+        self._coalesce_key: tuple | None = None
         self._started = time.perf_counter()
 
     def pull_chunk(self) -> None:
-        """Feed the session one more round chunk (producer thread only)."""
+        """Feed the session one more round chunk (scheduler thread only)."""
         try:
             self.session.feed(next(self.chunk_iter))
         except StopIteration:
@@ -77,12 +168,166 @@ class _StreamTask:
 
     def complete(self) -> None:
         """Decode the tail window and close out the stream (worker thread)."""
-        final = self.stream.final()
+        final = self.stream.final() if self.stream is not None else self.final_chunk
+        assert final is not None
         self.predictions = self.session.finish(final)
         if final.observable_flips is not None:
             self.failures = int((self.predictions ^ final.observable_flips).sum())
         self.wall_seconds = time.perf_counter() - self._started
         self.finished = True
+
+    def coalesce_key(self) -> tuple:
+        """Compatibility key: equal keys decode bit-identically when merged."""
+        if self._coalesce_key is None:
+            windowed = self.session.windowed
+            window = windowed.effective_window
+            _, decoder = windowed.decoder_for(window)
+            self._coalesce_key = (
+                decoder.decode_identity,
+                window,
+                windowed.commit_rounds,
+            )
+        return self._coalesce_key
+
+    def report(self) -> StreamReport:
+        return StreamReport(
+            stream_id=self.stream_id,
+            shots=self.shots,
+            rounds=self.rounds,
+            recorder=self.recorder,
+            failures=self.failures,
+            wall_seconds=self.wall_seconds,
+        )
+
+
+class StreamHandle:
+    """Push-mode front door to one stream of a running :class:`DecodeService`.
+
+    The network layer feeds one ``(shots, num_z_stabs)`` boolean round at a
+    time via :meth:`feed_round`, closes with :meth:`finish`, and collects
+    the decoded predictions from :meth:`result`.  All methods are
+    thread-safe; completion callbacks fire on service threads.
+    """
+
+    def __init__(self, service: "DecodeService", task: _StreamTask):
+        self._service = service
+        self._task = task
+
+    @property
+    def stream_id(self) -> int:
+        return self._task.stream_id
+
+    @property
+    def label(self) -> str | None:
+        return self._task.label
+
+    @property
+    def done(self) -> bool:
+        return self._task.done_event.is_set()
+
+    @property
+    def error(self) -> BaseException | None:
+        return self._task.error
+
+    @property
+    def predictions(self) -> np.ndarray | None:
+        return self._task.predictions
+
+    @property
+    def failures(self) -> int | None:
+        return self._task.failures
+
+    def feed_round(self, detectors: np.ndarray) -> None:
+        """Append the next round's detector chunk (rounds are sequential)."""
+        task = self._task
+        chunk = np.asarray(detectors, dtype=bool)
+        if chunk.shape != (task.shots, task.num_z_stabs):
+            raise ValueError(
+                f"round chunk must be ({task.shots}, {task.num_z_stabs}); "
+                f"got {chunk.shape}"
+            )
+        wake = self._service._wake
+        with wake:
+            if task.finished or task.aborted:
+                raise ServiceClosed(f"stream {task.stream_id} is closed")
+            if task.final_chunk is not None:
+                raise RuntimeError(f"stream {task.stream_id} already finished")
+            if task.rounds_submitted >= task.rounds:
+                raise ValueError(
+                    f"stream {task.stream_id} declared {task.rounds} rounds; "
+                    "cannot feed more"
+                )
+            task.pending.append(RoundChunk(task.rounds_submitted, chunk))
+            task.rounds_submitted += 1
+            wake.notify_all()
+
+    def finish(
+        self,
+        final_detectors: np.ndarray,
+        observable_flips: np.ndarray | None = None,
+    ) -> None:
+        """Deliver the final transversal readout; decoding completes async."""
+        task = self._task
+        final = np.asarray(final_detectors, dtype=bool)
+        if final.shape != (task.shots, task.num_z_stabs):
+            raise ValueError(
+                f"final chunk must be ({task.shots}, {task.num_z_stabs}); "
+                f"got {final.shape}"
+            )
+        flips = None
+        if observable_flips is not None:
+            flips = np.asarray(observable_flips, dtype=bool)
+            if flips.shape != (task.shots,):
+                raise ValueError(f"observable_flips must be ({task.shots},)")
+        wake = self._service._wake
+        with wake:
+            if task.finished or task.aborted:
+                raise ServiceClosed(f"stream {task.stream_id} is closed")
+            if task.final_chunk is not None:
+                raise RuntimeError(f"stream {task.stream_id} already finished")
+            if task.rounds_submitted != task.rounds:
+                raise ValueError(
+                    f"stream {task.stream_id} declared {task.rounds} rounds "
+                    f"but fed {task.rounds_submitted}"
+                )
+            task.final_chunk = FinalChunk(final, flips)
+            wake.notify_all()
+
+    def abort(self) -> None:
+        """Drop the stream: pending work is discarded, no result is produced.
+
+        Safe at any point, including mid-window — a decode already on a
+        worker finishes harmlessly and the stream is then retired.
+        """
+        wake = self._service._wake
+        with wake:
+            self._task.aborted = True
+            wake.notify_all()
+
+    def add_done_callback(self, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` once the stream finishes (or immediately if done)."""
+        with self._service._wake:
+            if not self._task.finalized:
+                self._task.done_callbacks.append(callback)
+                return
+        callback()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the stream finishes; ``False`` on timeout."""
+        return self._task.done_event.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> StreamReport:
+        """Wait for completion and return the report (re-raises stream errors)."""
+        if not self.wait(timeout):
+            raise TimeoutError(f"stream {self.stream_id} still decoding")
+        if self._task.error is not None:
+            raise self._task.error
+        if self._task.aborted and self._task.predictions is None:
+            raise ServiceClosed(f"stream {self.stream_id} was aborted")
+        return self._task.report()
+
+    def report(self) -> StreamReport:
+        return self._task.report()
 
 
 class DecodeService:
@@ -97,7 +342,7 @@ class DecodeService:
         Worker threads decoding windows.  Streams are independent, so
         effective concurrency is ``min(workers, streams)``.
     queue_depth:
-        Bound of the pending-window queue; the producer blocks when it is
+        Bound of the pending-window queue; the scheduler blocks when it is
         full (backpressure).  Defaults to ``max(2, workers)``.
     cache_size:
         Capacity of the service-wide :class:`~repro.decoders.SyndromeCache`
@@ -109,6 +354,12 @@ class DecodeService:
         Per-stream sessions use the bit-packed ring buffers of
         :class:`repro.pipeline.FusedWindowSession` (bit-identical results,
         bounded packed memory per stream).
+    coalesce:
+        Merge same-pass ready windows of compatible streams into one
+        batched decode call (bit-identical demux; see module docstring).
+    observer:
+        Optional :class:`ServiceObserver` receiving per-window, per-batch
+        and queue-depth callbacks — the serve layer's SLO feed.
     """
 
     def __init__(
@@ -122,6 +373,8 @@ class DecodeService:
         queue_depth: int | None = None,
         cache_size: int | None = None,
         fused: bool = False,
+        coalesce: bool = False,
+        observer: ServiceObserver | None = None,
     ) -> None:
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -131,6 +384,8 @@ class DecodeService:
         self.max_exact_nodes = max_exact_nodes
         self.strategy = strategy
         self.fused = bool(fused)
+        self.coalesce = bool(coalesce)
+        self.observer = observer
         self.workers = int(workers)
         self.queue_depth = int(queue_depth) if queue_depth is not None else max(2, workers)
         if self.queue_depth <= 0:
@@ -138,6 +393,23 @@ class DecodeService:
         self.cache = SyndromeCache(cache_size)
         self.windows_decoded = 0
         self.streams_served = 0
+        self.backpressure_stalls = 0
+        #: Decode dispatches vs stream windows they served; their ratio is
+        #: the coalescing amortisation (1.0 when coalescing is off/idle).
+        self.window_batches = 0
+        self.window_jobs = 0
+        self._wake = threading.Condition()
+        self._counter_lock = threading.Lock()
+        self._tasks: list[_StreamTask] = []
+        self._next_stream_id = 0
+        self._work: queue.Queue | None = None
+        self._threads: list[threading.Thread] = []
+        self._scheduler: threading.Thread | None = None
+        self._started = False
+        self._persistent = False
+        self._stopping = False
+        self._closed = False
+        self._terminated = threading.Event()
 
     @classmethod
     def from_config(
@@ -146,6 +418,8 @@ class DecodeService:
         *,
         workers: int = 4,
         queue_depth: int | None = None,
+        coalesce: bool = False,
+        observer: ServiceObserver | None = None,
     ) -> "DecodeService":
         """Build a service from an :class:`~repro.api.config.ExperimentConfig`.
 
@@ -171,15 +445,24 @@ class DecodeService:
             queue_depth=queue_depth,
             cache_size=config.decoder.cache_size,
             fused=execution.fused,
+            coalesce=coalesce,
+            observer=observer,
         )
 
     # ------------------------------------------------------------------ #
-    # Public API
+    # Public API — batch mode
     # ------------------------------------------------------------------ #
     def run(self, streams: Sequence[SyndromeStream]) -> list[StreamReport]:
-        """Decode every stream to completion; returns one report per stream."""
+        """Decode every stream to completion; returns one report per stream.
+
+        When the service is not already :meth:`start`-ed, the thread pool
+        is created for this call and fully joined before it returns — no
+        worker threads outlive the call, even when it raises.
+        """
         if not streams:
             return []
+        if self._closed:
+            raise ServiceClosed("decode service is closed")
         tasks = []
         for index, stream in enumerate(streams):
             code = getattr(stream, "code", None)
@@ -193,119 +476,440 @@ class DecodeService:
             tasks.append(
                 _StreamTask(
                     index,
-                    stream,
-                    WindowedDecoder(
-                        code=code,
-                        noise=noise,
-                        rounds=stream.rounds,
-                        window_rounds=self.window_rounds,
-                        commit_rounds=self.commit_rounds,
-                        method=self.method,
-                        max_exact_nodes=self.max_exact_nodes,
-                        strategy=self.strategy,
-                        cache=self.cache,
-                        fused=self.fused,
-                    ),
+                    self._windowed_for(code, noise, stream.rounds),
+                    shots=stream.shots,
+                    rounds=stream.rounds,
+                    stream=stream,
                 )
             )
-        work: queue.Queue = queue.Queue(maxsize=self.queue_depth)
-        done = threading.Condition()
-        threads = [
-            threading.Thread(
-                target=self._worker, args=(work, done), daemon=True, name=f"decode-{i}"
-            )
-            for i in range(min(self.workers, len(tasks)))
-        ]
-        for thread in threads:
-            thread.start()
+        ephemeral = not self._started
+        if ephemeral:
+            self._start_threads(min(self.workers, len(tasks)))
+        with self._wake:
+            self._tasks.extend(tasks)
+            self._wake.notify_all()
         try:
-            self._produce(tasks, work, done)
+            with self._wake:
+                while not all(task.finished for task in tasks):
+                    self._wake.wait(_POLL_SECONDS)
         finally:
-            for _ in threads:
-                work.put(None)
-            for thread in threads:
-                thread.join()
+            if ephemeral:
+                self._stop_threads()
         for task in tasks:
             if task.error is not None:
                 raise task.error
-        self.streams_served += len(tasks)
-        self.windows_decoded += sum(task.session.windows_decoded for task in tasks)
-        return [
-            StreamReport(
-                stream_id=task.stream_id,
-                shots=task.stream.shots,
-                rounds=task.stream.rounds,
-                recorder=task.recorder,
-                failures=task.failures,
-                wall_seconds=task.wall_seconds,
+        return [task.report() for task in tasks]
+
+    # ------------------------------------------------------------------ #
+    # Public API — online (push) mode
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Start the persistent scheduler/worker pool (idempotent)."""
+        with self._wake:
+            if self._closed:
+                raise ServiceClosed("decode service is closed")
+            self._persistent = True
+        if not self._started:
+            self._start_threads(self.workers)
+
+    def open_stream(
+        self,
+        *,
+        code,
+        noise,
+        shots: int,
+        rounds: int,
+        label: str | None = None,
+        window_rounds: int | None = None,
+        commit_rounds: int | None = None,
+        method: str | None = None,
+        strategy: str | None = None,
+        fused: bool | None = None,
+    ) -> StreamHandle:
+        """Open a push-mode stream on the persistent pool (auto-starts it).
+
+        Per-stream overrides fall back to the service-wide defaults; the
+        syndrome cache is always the shared service-wide one, so every
+        tenant's decode work serves every other compatible tenant.
+        """
+        if shots <= 0 or rounds <= 0:
+            raise ValueError("shots and rounds must be positive")
+        self.start()
+        windowed = self._windowed_for(
+            code,
+            noise,
+            rounds,
+            window_rounds=window_rounds,
+            commit_rounds=commit_rounds,
+            method=method,
+            strategy=strategy,
+            fused=fused,
+        )
+        with self._wake:
+            if self._closed:
+                raise ServiceClosed("decode service is closed")
+            task = _StreamTask(
+                self._next_stream_id,
+                windowed,
+                shots=shots,
+                rounds=rounds,
+                label=label,
             )
-            for task in tasks
+            self._next_stream_id += 1
+            self._tasks.append(task)
+            self._wake.notify_all()
+        return StreamHandle(self, task)
+
+    def close(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Shut the service down.  Idempotent and safe from any thread.
+
+        With ``drain=True`` (the default) streams that can still finish —
+        their final readout delivered or deliverable — are decoded to
+        completion first, bounded by ``timeout`` seconds when given; any
+        stream still unfinished after the drain (e.g. a connection that
+        went quiet mid-window) is aborted.  With ``drain=False`` every
+        unfinished stream is aborted immediately.  Either way all scheduler
+        and worker threads are joined before this returns; concurrent and
+        repeated calls block until that single shutdown completes.
+        """
+        with self._wake:
+            if self._closed:
+                already, was_started = True, self._started
+            else:
+                already, was_started = False, self._started
+                self._closed = True
+                self._wake.notify_all()
+        if already:
+            self._terminated.wait()
+            return
+        if not was_started:
+            self._terminated.set()
+            return
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if drain:
+            with self._wake:
+                while any(not t.finished for t in self._tasks):
+                    wait = _POLL_SECONDS
+                    if deadline is not None:
+                        wait = min(wait, deadline - time.monotonic())
+                        if wait <= 0:
+                            break
+                    self._wake.wait(wait)
+        with self._wake:
+            for task in self._tasks:
+                if not task.finished:
+                    task.aborted = True
+            self._wake.notify_all()
+            while any(not t.finished for t in self._tasks):
+                self._wake.wait(_POLL_SECONDS)
+        self._stop_threads()
+        self._terminated.set()
+
+    @property
+    def active_streams(self) -> int:
+        """Streams currently attached and not yet finished."""
+        with self._wake:
+            return sum(1 for t in self._tasks if not t.finished)
+
+    def stats(self) -> dict:
+        """Service-wide counters (coalescing ratio, backpressure, volume)."""
+        batches = self.window_batches
+        return {
+            "streams_served": self.streams_served,
+            "windows_decoded": self.windows_decoded,
+            "active_streams": self.active_streams,
+            "backpressure_stalls": self.backpressure_stalls,
+            "window_batches": batches,
+            "coalesce_ratio": self.window_jobs / batches if batches else 0.0,
+            "cache": self.cache.stats(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Scheduler / worker internals
+    # ------------------------------------------------------------------ #
+    def _windowed_for(
+        self,
+        code,
+        noise,
+        rounds: int,
+        *,
+        window_rounds: int | None = None,
+        commit_rounds: int | None = None,
+        method: str | None = None,
+        strategy: str | None = None,
+        fused: bool | None = None,
+    ) -> WindowedDecoder:
+        return WindowedDecoder(
+            code=code,
+            noise=noise,
+            rounds=rounds,
+            window_rounds=self.window_rounds if window_rounds is None else window_rounds,
+            commit_rounds=self.commit_rounds if commit_rounds is None else commit_rounds,
+            method=self.method if method is None else method,
+            max_exact_nodes=self.max_exact_nodes,
+            strategy=self.strategy if strategy is None else strategy,
+            cache=self.cache,
+            fused=self.fused if fused is None else fused,
+        )
+
+    def _start_threads(self, worker_count: int) -> None:
+        self._work = queue.Queue(maxsize=self.queue_depth)
+        self._stopping = False
+        self._terminated.clear()
+        self._threads = [
+            threading.Thread(
+                target=self._worker,
+                args=(self._work,),
+                daemon=True,
+                name=f"decode-{i}",
+            )
+            for i in range(max(1, worker_count))
         ]
+        for thread in self._threads:
+            thread.start()
+        self._scheduler = threading.Thread(
+            target=self._schedule_loop, daemon=True, name="decode-scheduler"
+        )
+        self._scheduler.start()
+        self._started = True
 
-    # ------------------------------------------------------------------ #
-    # Producer / worker internals
-    # ------------------------------------------------------------------ #
-    def _produce(self, tasks: list[_StreamTask], work: queue.Queue, done: threading.Condition) -> None:
-        """Round-robin multiplexer: pull chunks, schedule ready windows."""
-        while not all(task.finished for task in tasks):
-            progressed = False
-            for task in tasks:
-                if task.finished or task.in_flight:
+    def _stop_threads(self) -> None:
+        with self._wake:
+            self._stopping = True
+            self._wake.notify_all()
+        if self._scheduler is not None:
+            self._scheduler.join()
+            self._scheduler = None
+        work = self._work
+        if work is not None:
+            for _ in self._threads:
+                work.put(None)
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        self._work = None
+        self._started = False
+
+    def _schedule_loop(self) -> None:
+        """Round-robin multiplexer: pull/drain chunks, schedule ready windows."""
+        while True:
+            with self._wake:
+                self._tasks = [t for t in self._tasks if not t.finished]
+                if not self._tasks:
+                    if self._stopping:
+                        return
+                    self._wake.wait(_POLL_SECONDS)
                     continue
-                if task.session.ready():
-                    self._enqueue(work, "window", task)
-                    progressed = True
-                elif not task.exhausted:
-                    task.pull_chunk()
-                    progressed = True
-                    if task.session.ready():
-                        self._enqueue(work, "window", task)
-                else:
-                    self._enqueue(work, "final", task)
-                    progressed = True
-            if not progressed:
-                with done:
-                    done.wait(timeout=_POLL_SECONDS)
+                snapshot = list(self._tasks)
+            if not self._pass(snapshot):
+                with self._wake:
+                    if self._stopping and all(t.finished for t in snapshot):
+                        continue
+                    self._wake.wait(_POLL_SECONDS)
 
-    @staticmethod
-    def _enqueue(work: queue.Queue, kind: str, task: _StreamTask) -> None:
+    def _pass(self, tasks: list[_StreamTask]) -> bool:
+        progressed = False
+        ready: list[_StreamTask] = []
+        for task in tasks:
+            if task.finished or task.in_flight:
+                continue
+            if task.aborted:
+                self._finalize(task)
+                progressed = True
+                continue
+            try:
+                if self._advance(task, ready):
+                    progressed = True
+            except BaseException as exc:  # surface on the handle, keep serving
+                task.error = exc
+                self._finalize(task)
+                progressed = True
+        if ready:
+            progressed = True
+            groups: dict[tuple, list[_StreamTask]] = {}
+            order: list[tuple] = []
+            for task in ready:
+                try:
+                    key = (
+                        task.coalesce_key()
+                        if self.coalesce
+                        else ("solo", task.stream_id)
+                    )
+                except BaseException as exc:
+                    task.error = exc
+                    self._finalize(task)
+                    continue
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(task)
+            for key in order:
+                self._enqueue("window", tuple(groups[key]))
+        return progressed
+
+    def _advance(self, task: _StreamTask, ready: list[_StreamTask]) -> bool:
+        """Move one stream forward; append to ``ready`` when a window is due."""
+        session = task.session
+        if session.ready():
+            ready.append(task)
+            return True
+        if task.mode == "pull":
+            if not task.exhausted:
+                task.pull_chunk()
+                if session.ready():
+                    ready.append(task)
+                return True
+            self._enqueue("final", (task,))
+            return True
+        progressed = False
+        while (
+            not session.ready()
+            and task.pending
+            and session.rounds_fed < task.rounds
+        ):
+            session.feed(task.pending.popleft())
+            progressed = True
+        if session.ready():
+            ready.append(task)
+            return True
+        if (
+            task.final_chunk is not None
+            and not task.pending
+            and session.rounds_fed >= task.rounds
+        ):
+            self._enqueue("final", (task,))
+            return True
+        return progressed
+
+    def _enqueue(self, kind: str, tasks: tuple[_StreamTask, ...]) -> None:
         # in_flight must flip before the (possibly blocking) put so the
-        # producer never double-schedules a stream.  The enqueue timestamp is
-        # taken before the put either way, so a backpressure stall shows up
-        # as queue wait exactly as it did before instrumentation.
-        task.in_flight = True
-        item = (kind, task, time.perf_counter())
+        # scheduler never double-schedules a stream.  The enqueue timestamp
+        # is taken before the put either way, so a backpressure stall shows
+        # up as queue wait exactly as it did before instrumentation.
+        work = self._work
+        assert work is not None
+        for task in tasks:
+            task.in_flight = True
+        item = (kind, tasks, time.perf_counter())
         try:
             work.put_nowait(item)
         except queue.Full:
             _OBS_BACKPRESSURE.inc()
+            self.backpressure_stalls += 1
             work.put(item)
+        depth = work.qsize()
         if METRICS.enabled:
-            _OBS_QUEUE_DEPTH.set(work.qsize())
+            _OBS_QUEUE_DEPTH.set(depth)
+        if self.observer is not None:
+            self.observer.on_queue_depth(depth)
 
-    @staticmethod
-    def _worker(work: queue.Queue, done: threading.Condition) -> None:
+    def _worker(self, work: queue.Queue) -> None:
         while True:
             item = work.get()
             if item is None:
                 work.task_done()
                 return
-            kind, task, enqueued_at = item
+            kind, tasks, enqueued_at = item
             wait = time.perf_counter() - enqueued_at
             try:
                 if kind == "window":
-                    with span("realtime.window", stream=task.stream_id):
-                        task.session.step()
-                    _OBS_WINDOWS.inc()
+                    self._decode_group(tasks, wait)
                 else:
-                    with span("realtime.final", stream=task.stream_id):
-                        task.complete()
-                task.recorder.add_wait(wait)
-            except BaseException as exc:  # surface in run(), don't kill the pool
-                task.error = exc
-                task.finished = True
+                    task = tasks[0]
+                    if not task.aborted:
+                        with span("realtime.final", stream=task.stream_id):
+                            task.complete()
+            except BaseException as exc:  # surface on run()/handle, keep pool
+                for task in tasks:
+                    task.error = exc
             finally:
-                task.in_flight = False
-                with done:
-                    done.notify_all()
+                with self._wake:
+                    for task in tasks:
+                        task.in_flight = False
+                    self._wake.notify_all()
+                for task in tasks:
+                    if task.finished or task.error is not None:
+                        self._finalize(task)
                 work.task_done()
+
+    def _decode_group(self, tasks: tuple[_StreamTask, ...], wait: float) -> None:
+        """Decode one window job: a single stream or a coalesced batch."""
+        if len(tasks) == 1:
+            task = tasks[0]
+            if task.aborted:
+                return
+            with span("realtime.window", stream=task.stream_id):
+                task.session.step()
+            _OBS_WINDOWS.inc()
+            task.recorder.add_wait(wait)
+            with self._counter_lock:
+                self.window_batches += 1
+                self.window_jobs += 1
+            self._observe_window(task, wait)
+            return
+        started = time.perf_counter()
+        live = [task for task in tasks if not task.aborted]
+        if not live:
+            return
+        # Each session owns its staging buffers, so collecting every
+        # window's inputs before concatenating is safe; np.concatenate
+        # copies, so reuse of those buffers on commit cannot alias.
+        inputs = [task.session.window_inputs() for task in live]
+        history = np.concatenate([h for h, _ in inputs], axis=0)
+        context = np.concatenate([c for _, c in inputs], axis=0)
+        lead = live[0].session.windowed
+        _, decoder = lead.decoder_for(lead.effective_window)
+        with span("realtime.window_batch", streams=len(live)):
+            entries, inverse = decoder.decode_edges_unique(history, context)
+            offset = 0
+            for task, (chunk, _) in zip(live, inputs):
+                shots = chunk.shape[0]
+                task.session.commit_window(
+                    entries, inverse[offset : offset + shots], started
+                )
+                offset += shots
+        for task in live:
+            _OBS_WINDOWS.inc()
+            task.recorder.add_wait(wait)
+            self._observe_window(task, wait)
+        _OBS_COALESCED.inc(len(live))
+        with self._counter_lock:
+            self.window_batches += 1
+            self.window_jobs += len(live)
+        if self.observer is not None:
+            self.observer.on_batch(len(live))
+
+    def _observe_window(self, task: _StreamTask, wait: float) -> None:
+        if self.observer is None or not task.recorder.timings:
+            return
+        timing = task.recorder.timings[-1]
+        self.observer.on_window(
+            task.stream_id,
+            task.label,
+            timing.committed_rounds,
+            timing.service_seconds,
+            wait,
+        )
+
+    def _finalize(self, task: _StreamTask) -> None:
+        """Retire a finished/errored/aborted stream exactly once."""
+        with self._wake:
+            if task.finalized:
+                return
+            task.finalized = True
+            task.finished = True
+            if task.wall_seconds == 0.0:
+                task.wall_seconds = time.perf_counter() - task._started
+            self.streams_served += 1
+            self.windows_decoded += task.session.windows_decoded
+            callbacks = list(task.done_callbacks)
+            task.done_callbacks.clear()
+            task.done_event.set()
+            self._wake.notify_all()
+        if self.observer is not None:
+            self.observer.on_stream_done(task.stream_id, task.label, task.error)
+        for callback in callbacks:
+            try:
+                callback()
+            except Exception:  # a bad callback must not kill the pool
+                pass

@@ -44,7 +44,7 @@ from ..noise import NoiseParams
 from .accounting import LatencyRecorder
 from .stream import FinalChunk, ReplayStream, RoundChunk, SyndromeStream
 
-__all__ = ["WindowedDecoder", "WindowSession"]
+__all__ = ["WindowedDecoder", "WindowSession", "entries_commit"]
 
 
 @dataclass
@@ -236,38 +236,73 @@ class WindowSession:
         end = self.start + window
         return end < self.windowed.rounds and end in self._buffer
 
-    def step(self) -> None:
-        """Decode the next intermediate window and commit its oldest rounds."""
+    @property
+    def rounds_fed(self) -> int:
+        """Rounds buffered so far (the next expected chunk index)."""
+        return self._next_round
+
+    def window_inputs(self) -> tuple[np.ndarray, np.ndarray]:
+        """The next ready window's ``(history, context)`` decode inputs.
+
+        ``history`` is ``(shots, window, num_z)`` and ``context`` the one
+        round past the window.  Together with :meth:`commit_window` this is
+        the seam the decode service's cross-stream coalescer uses: it
+        concatenates several sessions' inputs, decodes them in one batched
+        call, and hands each session its slice of the results — which is
+        bit-identical to each session decoding alone, because every unique
+        syndrome decodes independently (see ``repro.serve``).
+        """
         if not self.ready():
             raise RuntimeError("no window is ready; feed more chunks first")
         window = self.windowed.effective_window
-        commit = self.windowed.commit_rounds
         start = self.start
-        started = time.perf_counter()
-
         history = np.stack(
             [self._buffer[r] for r in range(start, start + window)], axis=1
         )
-        context = self._buffer[start + window]
-        graph, decoder = self.windowed.decoder_for(window)
-        artifacts = np.zeros((self.shots, graph.num_z_stabs), dtype=bool)
-        # Batched, deduplicated decode: identical window syndromes (common at
-        # low p) are decoded once and served from the shared syndrome cache.
-        for shot, edges in enumerate(decoder.decode_edges_batch(history, context)):
-            flip, artifact_stabs = _commit_edges(edges, graph, commit)
-            self._parity[shot] ^= flip
-            for z_local in artifact_stabs:
-                artifacts[shot, z_local] ^= True
+        return history, self._buffer[start + window]
 
+    def commit_window(
+        self,
+        entries: list[tuple[tuple[int, int], ...]],
+        inverse: np.ndarray,
+        started: float | None = None,
+    ) -> None:
+        """Commit one decoded window from per-unique-syndrome ``entries``.
+
+        ``entries[inverse[s]]`` is shot ``s``'s correction, exactly the
+        representation :meth:`~repro.decoders.base.DecoderBase.
+        decode_edges_unique` returns (``inverse`` may be a slice of a larger
+        coalesced batch).  ``started`` is the ``perf_counter`` tick the
+        window's decode began at; the recorder logs the elapsed time through
+        the end of this commit against the committed rounds.
+        """
+        window = self.windowed.effective_window
+        commit = self.windowed.commit_rounds
+        assert commit is not None  # __post_init__ resolves it
+        start = self.start
+        graph, _ = self.windowed.decoder_for(window)
+        flips, masks = entries_commit(entries, graph, commit)
+        self._parity ^= flips[inverse]
         # Boundary artifacts become extra defects on the first uncommitted
         # round, so cross-window chains re-terminate correctly next window.
-        self._buffer[start + commit] ^= artifacts
+        self._buffer[start + commit] ^= masks[inverse]
         for done in range(start, start + commit):
             del self._buffer[done]
         self.start += commit
         self.windows_decoded += 1
         if self.recorder is not None:
-            self.recorder.record(commit, time.perf_counter() - started)
+            elapsed = 0.0 if started is None else time.perf_counter() - started
+            self.recorder.record(commit, elapsed)
+
+    def step(self) -> None:
+        """Decode the next intermediate window and commit its oldest rounds."""
+        started = time.perf_counter()
+        history, context = self.window_inputs()
+        _, decoder = self.windowed.decoder_for(self.windowed.effective_window)
+        # Batched, deduplicated decode: identical window syndromes (common at
+        # low p) are decoded once and served from the shared syndrome cache.
+        entries, inverse = decoder.decode_edges_unique(history, context)
+        self.commit_window(entries, inverse, started)
 
     def finish(self, final: FinalChunk) -> np.ndarray:
         """Decode the tail window against the final readout; return predictions."""
@@ -298,6 +333,30 @@ class WindowSession:
         if self.recorder is not None:
             self.recorder.record(tail, time.perf_counter() - started)
         return self._parity.copy()
+
+
+def entries_commit(
+    entries: list[tuple[tuple[int, int], ...]],
+    graph: DetectorGraph,
+    commit_layer: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorisable commit of per-unique-syndrome correction entries.
+
+    Returns ``(flips, masks)``: one committed logical-parity bit and one
+    ``(num_z,)`` boundary-artifact mask per entry.  Scattering both through
+    the dedup ``inverse`` map reproduces the per-shot commit loop exactly —
+    the shared kernel of :class:`WindowSession`,
+    :class:`repro.pipeline.FusedWindowSession` and the decode service's
+    cross-stream coalescer.
+    """
+    flips = np.zeros(len(entries), dtype=bool)
+    masks = np.zeros((len(entries), graph.num_z_stabs), dtype=bool)
+    for index, edges in enumerate(entries):
+        flip, artifact_stabs = _commit_edges(edges, graph, commit_layer)
+        flips[index] = flip
+        for z_local in artifact_stabs:
+            masks[index, z_local] ^= True
+    return flips, masks
 
 
 def _commit_edges(

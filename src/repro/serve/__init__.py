@@ -1,0 +1,160 @@
+"""Decode-as-a-service: the network front end over the realtime decoder.
+
+``repro.serve`` turns the in-process :class:`~repro.realtime.DecodeService`
+into a served product: an asyncio TCP server speaking a length-prefixed
+binary frame protocol (:mod:`repro.serve.protocol`), an optional websocket
+gateway (:mod:`repro.serve.websocket`), sharded decode workers with
+admission control and per-tenant token-bucket backpressure
+(:mod:`repro.serve.server`), live SLO accounting priced against the
+hardware round budget (:mod:`repro.serve.slo`), and the client library the
+examples and benchmarks drive it with (:mod:`repro.serve.client`).
+
+Start one from the CLI (``python -m repro serve``), or in-process::
+
+    from repro.serve import ServerConfig, ServerThread
+
+    with ServerThread(ServerConfig(port=0)) as handle:
+        results = decode_records("127.0.0.1", handle.port, records,
+                                 code={"family": "surface", "distance": 3},
+                                 noise={"p": 2e-3, "leakage_ratio": 1.0})
+
+Served predictions are bit-identical to in-process decoding — the server
+only ever reaches the decoder through the same public
+:class:`DecodeService` API, and the equivalence is pinned across the full
+code × decoder × coalescing matrix by ``tests/test_serve.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from .client import ClientStream, ServeClient, StreamRejected, StreamResult, decode_records
+from .protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    encode_frame,
+)
+from .server import DecodeServer, ServerConfig, TokenBucket
+from .slo import SloTracker
+from .websocket import WebSocketGateway
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FrameType",
+    "FrameDecoder",
+    "ProtocolError",
+    "encode_frame",
+    "ServerConfig",
+    "DecodeServer",
+    "TokenBucket",
+    "SloTracker",
+    "ServeClient",
+    "ClientStream",
+    "StreamResult",
+    "StreamRejected",
+    "decode_records",
+    "WebSocketGateway",
+    "ServerThread",
+]
+
+
+class ServerThread:
+    """Run a :class:`DecodeServer` on a background event-loop thread.
+
+    The harness tests, the quickstart example and the capacity benchmark
+    all use this: enter the context, read :attr:`port` (and
+    :attr:`ws_port` with ``websocket=True``), drive it with any client,
+    and exit for a graceful drain + full thread join.
+    """
+
+    def __init__(
+        self, config: ServerConfig | None = None, websocket: bool = False
+    ) -> None:
+        self.config = config or ServerConfig()
+        self.websocket = websocket
+        self.server: DecodeServer | None = None
+        self.gateway: WebSocketGateway | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="serve-loop"
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("decode server failed to start within 30s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is None or self.server is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self._shutdown(), self._loop)
+        future.result(timeout=60)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        assert self._thread is not None
+        self._thread.join(timeout=60)
+        self._loop = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    @property
+    def ws_port(self) -> int:
+        assert self.gateway is not None
+        return self.gateway.port
+
+    def status(self) -> dict:
+        """Live status snapshot (reads counters; safe from any thread)."""
+        assert self.server is not None
+        return self.server.status()
+
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def boot() -> None:
+            self.server = DecodeServer(self.config)
+            await self.server.start()
+            if self.websocket:
+                self.gateway = WebSocketGateway(self.server)
+                await self.gateway.start()
+
+        try:
+            loop.run_until_complete(boot())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+    async def _shutdown(self) -> None:
+        if self.gateway is not None:
+            await self.gateway.stop()
+        assert self.server is not None
+        await self.server.shutdown()

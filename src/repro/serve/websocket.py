@@ -1,0 +1,201 @@
+"""Minimal RFC 6455 websocket adapter for the decode server.
+
+Browsers and websocket-only infrastructure cannot speak raw length-prefixed
+TCP, so this gateway exposes the same session protocol over websockets:
+each *binary websocket message* carries exactly one protocol frame body —
+the one type byte followed by the payload; the 4-byte length prefix of the
+TCP transport is dropped because websocket framing already delimits
+messages.  Everything above the transport (HELLO/OPEN/CHUNK/... dispatch,
+admission, SLO accounting) is the shared
+:meth:`~repro.serve.server.DecodeServer.handle_session` path, so the two
+front doors cannot drift apart.
+
+Implementation scope (stdlib only, no websocket dependency): server side
+of the handshake (``Sec-WebSocket-Accept``), single-frame (FIN=1) binary
+messages, masked client payloads, ping/pong and close.  Fragmented
+messages and extensions are rejected as :class:`ProtocolError` — ample for
+the protocol's small control frames and one-round data frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import contextlib
+import hashlib
+import struct
+
+import numpy as np
+
+from .protocol import MAX_PAYLOAD, FrameType, ProtocolError
+from .server import DecodeServer, Transport
+
+__all__ = ["WebSocketGateway"]
+
+#: Fixed GUID from RFC 6455 §1.3 used to derive Sec-WebSocket-Accept.
+_WS_GUID = b"258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+_OP_BINARY = 0x2
+_OP_CLOSE = 0x8
+_OP_PING = 0x9
+_OP_PONG = 0xA
+
+
+def _accept_key(client_key: str) -> str:
+    digest = hashlib.sha1(client_key.strip().encode("ascii") + _WS_GUID).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def _ws_message(opcode: int, payload: bytes) -> bytes:
+    """One unmasked (server-to-client) websocket frame."""
+    head = bytes([0x80 | opcode])
+    length = len(payload)
+    if length < 126:
+        head += bytes([length])
+    elif length < 1 << 16:
+        head += bytes([126]) + struct.pack(">H", length)
+    else:
+        head += bytes([127]) + struct.pack(">Q", length)
+    return head + payload
+
+
+async def _read_message(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """Read one client websocket frame; returns ``(opcode, payload)``."""
+    header = await reader.readexactly(2)
+    fin, opcode = header[0] & 0x80, header[0] & 0x0F
+    if not fin or header[0] & 0x70:
+        raise ProtocolError("fragmented or extended websocket frames not supported")
+    masked, length = header[1] & 0x80, header[1] & 0x7F
+    if not masked:
+        raise ProtocolError("client websocket frames must be masked")
+    if length == 126:
+        (length,) = struct.unpack(">H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", await reader.readexactly(8))
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"websocket frame of {length} bytes exceeds MAX_PAYLOAD")
+    mask = np.frombuffer(await reader.readexactly(4), dtype=np.uint8)
+    payload = np.frombuffer(await reader.readexactly(length), dtype=np.uint8)
+    if length:
+        repeats = -(-length // 4)
+        payload = payload ^ np.tile(mask, repeats)[:length]
+    return opcode, payload.tobytes()
+
+
+class _WsTransport(Transport):
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+
+    async def send(self, frame_type: int, payload: bytes) -> None:
+        body = bytes([FrameType(frame_type)]) + payload
+        self.writer.write(_ws_message(_OP_BINARY, body))
+        await self.writer.drain()
+
+    def close(self) -> None:
+        self.writer.close()
+
+
+class WebSocketGateway:
+    """Accept websocket connections and bridge them onto a DecodeServer."""
+
+    def __init__(
+        self, server: DecodeServer, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.server = server
+        self.host = host
+        self._port = port
+        self._listener: asyncio.AbstractServer | None = None
+
+    @property
+    def port(self) -> int:
+        assert self._listener is not None and self._listener.sockets
+        return self._listener.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._listener = await asyncio.start_server(
+            self._handle, host=self.host, port=self._port
+        )
+
+    async def stop(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            if not await self._handshake(reader, writer):
+                return
+            transport = _WsTransport(writer)
+
+            async def frames():
+                while True:
+                    try:
+                        opcode, payload = await _read_message(reader)
+                    except asyncio.IncompleteReadError:
+                        return
+                    if opcode == _OP_CLOSE:
+                        with contextlib.suppress(Exception):
+                            writer.write(_ws_message(_OP_CLOSE, payload[:2]))
+                            await writer.drain()
+                        return
+                    if opcode == _OP_PING:
+                        writer.write(_ws_message(_OP_PONG, payload))
+                        await writer.drain()
+                        continue
+                    if opcode != _OP_BINARY:
+                        raise ProtocolError(
+                            f"unsupported websocket opcode {opcode:#x}"
+                        )
+                    if not payload:
+                        raise ProtocolError("empty websocket protocol frame")
+                    try:
+                        frame_type = FrameType(payload[0])
+                    except ValueError as exc:
+                        raise ProtocolError(
+                            f"unknown frame type {payload[0]}"
+                        ) from exc
+                    yield frame_type, payload[1:]
+
+            await self.server.handle_session(transport, frames())
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _handshake(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        try:
+            request = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=10.0
+            )
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.TimeoutError,
+            asyncio.LimitOverrunError,
+        ):
+            return False
+        headers = {}
+        for line in request.split(b"\r\n")[1:]:
+            if b":" in line:
+                name, _, value = line.partition(b":")
+                headers[name.strip().lower()] = value.strip()
+        key = headers.get(b"sec-websocket-key")
+        if key is None or b"websocket" not in headers.get(b"upgrade", b"").lower():
+            writer.write(b"HTTP/1.1 400 Bad Request\r\n\r\n")
+            await writer.drain()
+            return False
+        response = (
+            "HTTP/1.1 101 Switching Protocols\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Accept: {_accept_key(key.decode('ascii'))}\r\n"
+            "\r\n"
+        )
+        writer.write(response.encode("ascii"))
+        await writer.drain()
+        return True

@@ -24,6 +24,7 @@ from hypothesis import settings
 from hypothesis import strategies as st
 
 from repro.fuzz import EXECUTION_MODES, ScenarioCell, SmallInstance, cell_config
+from repro.serve.protocol import FrameType
 
 __all__ = [
     "bit_widths",
@@ -36,6 +37,11 @@ __all__ = [
     "scenario_cells",
     "small_instances",
     "fuzz_configs",
+    "wire_frames",
+    "chunk_payloads",
+    "final_payloads",
+    "result_payloads",
+    "json_summaries",
 ]
 
 settings.register_profile(
@@ -127,6 +133,78 @@ def group_bases_lists(max_groups: int = 4) -> st.SearchStrategy[list[tuple[str, 
     """Per-group measurement bases, as consumed by ``QubitContext`` groups."""
     bases = st.sampled_from([("Z",), ("X",), ("Z", "X")])
     return st.lists(bases, min_size=1, max_size=max_groups)
+
+
+# --------------------------------------------------------------------------- #
+# Decode-service wire protocol (repro.serve.protocol)
+# --------------------------------------------------------------------------- #
+def wire_frames(max_payload: int = 256) -> st.SearchStrategy[tuple[FrameType, bytes]]:
+    """An arbitrary ``(frame_type, payload)`` pair for framing round trips.
+
+    Payload *content* is opaque at the framing layer, so any byte string is
+    valid here — the typed codecs below cover structured payloads.
+    """
+    return st.tuples(
+        st.sampled_from(list(FrameType)),
+        st.binary(min_size=0, max_size=max_payload),
+    )
+
+
+def _bool_block(draw, shape: tuple[int, ...]) -> np.ndarray:
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return np.random.default_rng(seed).random(shape) < 0.5
+
+
+@st.composite
+def chunk_payloads(
+    draw, max_shots: int = 6, max_detectors: int = 40
+) -> tuple[int, int, np.ndarray]:
+    """``(stream, round_index, detectors)`` for the CHUNK codec.
+
+    Zero shots and detector widths that are not byte multiples are the
+    packing edge cases; both are drawn deliberately.
+    """
+    stream = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    round_index = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    shots = draw(st.integers(min_value=0, max_value=max_shots))
+    detectors = draw(st.integers(min_value=1, max_value=max_detectors))
+    return stream, round_index, _bool_block(draw, (shots, detectors))
+
+
+@st.composite
+def final_payloads(
+    draw, max_shots: int = 6, max_detectors: int = 40
+) -> tuple[int, np.ndarray, np.ndarray | None]:
+    """``(stream, final_detectors, observable_flips_or_None)`` for FINAL."""
+    stream = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    shots = draw(st.integers(min_value=0, max_value=max_shots))
+    detectors = draw(st.integers(min_value=1, max_value=max_detectors))
+    final = _bool_block(draw, (shots, detectors))
+    flips = _bool_block(draw, (shots,)) if draw(st.booleans()) else None
+    return stream, final, flips
+
+
+def json_summaries() -> st.SearchStrategy[dict]:
+    """Flat JSON-safe summary dicts as RESULT frames carry them."""
+    scalars = st.one_of(
+        st.integers(min_value=-(2**31), max_value=2**31),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.booleans(),
+        st.text(max_size=12),
+    )
+    return st.dictionaries(st.text(min_size=1, max_size=16), scalars, max_size=6)
+
+
+@st.composite
+def result_payloads(
+    draw, max_shots: int = 12
+) -> tuple[int, np.ndarray, int | None, dict]:
+    """``(stream, predictions, failures_or_None, summary)`` for RESULT."""
+    stream = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    shots = draw(st.integers(min_value=0, max_value=max_shots))
+    predictions = _bool_block(draw, (shots,))
+    failures = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=shots)))
+    return stream, predictions, failures, draw(json_summaries())
 
 
 # --------------------------------------------------------------------------- #

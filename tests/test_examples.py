@@ -1,7 +1,7 @@
 """Smoke tests: the runnable examples must execute end-to-end.
 
 The decoded-memory example is exercised separately by the experiment tests
-(it takes minutes), so here we run the three fast examples in a subprocess
+(it takes minutes), so here we run the fast examples in a subprocess
 and check they exit cleanly and print their headline tables.
 """
 
@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     ("quickstart.py", "Leakage speculation on the d=5 surface code"),
     ("mobility_and_calibration.py", "Leakage-mobility estimation"),
     ("custom_code_speculation.py", "Speculative mitigation on the HGP code"),
+    ("serve_quickstart.py", "Decode-as-a-service on the d=3 surface code"),
 ]
 
 

@@ -17,6 +17,7 @@ from repro.realtime import (
     DecodeService,
     LatencyRecorder,
     ReplayStream,
+    ServiceClosed,
     SimulatorStream,
     WindowedDecoder,
 )
@@ -342,6 +343,145 @@ def test_service_backpressure_bounds_queue_under_slow_decoder(surface_d3, monkey
         predictions = windowed.decode_stream(stream)
         failures = int((predictions ^ stream.final().observable_flips).sum())
         assert reports[index].failures == failures
+
+
+# --------------------------------------------------------------------- #
+# Push mode and shutdown semantics
+# --------------------------------------------------------------------- #
+def test_push_mode_matches_serial_decode_with_coalescing(surface_d3):
+    """Two identical push-mode streams, coalesced, equal the serial decode."""
+    result = _recorded_run(surface_d3, HEAVY, shots=10, rounds=8, seed=23)
+    service = DecodeService(window_rounds=4, workers=2, fused=True, coalesce=True)
+    service.start()
+    try:
+        handles = [
+            service.open_stream(code=surface_d3, noise=HEAVY, shots=10, rounds=8)
+            for _ in range(2)
+        ]
+        for round_index in range(8):
+            for handle in handles:
+                handle.feed_round(result.detector_history[:, round_index, :])
+        for handle in handles:
+            handle.finish(result.final_detectors, result.observable_flips)
+        reports = [handle.result(timeout=120) for handle in handles]
+    finally:
+        service.close()
+    windowed = WindowedDecoder(code=surface_d3, noise=HEAVY, rounds=8, window_rounds=4)
+    expected = windowed.decode_stream(ReplayStream.from_run_result(result))
+    for handle, report in zip(handles, reports):
+        assert np.array_equal(handle.predictions, expected)
+        assert report.failures == int((expected ^ result.observable_flips).sum())
+
+
+def test_push_mode_validates_round_feeding(surface_d3):
+    result = _recorded_run(surface_d3, HEAVY, shots=5, rounds=6, seed=27)
+    width = result.detector_history.shape[2]
+    service = DecodeService(window_rounds=3, workers=1)
+    service.start()
+    try:
+        with pytest.raises(ValueError, match="positive"):
+            service.open_stream(code=surface_d3, noise=HEAVY, shots=5, rounds=0)
+        handle = service.open_stream(code=surface_d3, noise=HEAVY, shots=5, rounds=6)
+        with pytest.raises(ValueError, match="round chunk must be"):
+            handle.feed_round(np.zeros((5, width + 1), dtype=bool))
+        # A rejected chunk must not advance the round counter.
+        for round_index in range(6):
+            handle.feed_round(result.detector_history[:, round_index, :])
+        with pytest.raises(ValueError, match="cannot feed more"):
+            handle.feed_round(result.detector_history[:, 0, :])
+        handle.finish(result.final_detectors, result.observable_flips)
+        with pytest.raises(RuntimeError, match="already finished"):
+            handle.finish(result.final_detectors)
+        handle.result(timeout=120)
+        with pytest.raises(ServiceClosed):
+            handle.feed_round(result.detector_history[:, 0, :])
+    finally:
+        service.close()
+
+
+def test_push_mode_finish_requires_all_rounds(surface_d3):
+    result = _recorded_run(surface_d3, HEAVY, shots=4, rounds=6, seed=28)
+    service = DecodeService(window_rounds=3, workers=1)
+    service.start()
+    try:
+        handle = service.open_stream(code=surface_d3, noise=HEAVY, shots=4, rounds=6)
+        handle.feed_round(result.detector_history[:, 0, :])
+        with pytest.raises(ValueError, match="declared 6 rounds but fed 1"):
+            handle.finish(result.final_detectors)
+    finally:
+        service.close(drain=False)
+
+
+def test_service_close_is_idempotent_and_raceless(surface_d3):
+    """Concurrent close() calls while a stream hangs mid-window all return,
+    join every thread exactly once, and leave the handle cleanly aborted."""
+    result = _recorded_run(surface_d3, HEAVY, shots=4, rounds=8, seed=29)
+    service = DecodeService(window_rounds=4, workers=2)
+    service.start()
+    handle = service.open_stream(code=surface_d3, noise=HEAVY, shots=4, rounds=8)
+    for round_index in range(3):  # mid-window: never finishable
+        handle.feed_round(result.detector_history[:, round_index, :])
+
+    barrier = threading.Barrier(3)
+    errors = []
+
+    def closer():
+        barrier.wait()
+        try:
+            service.close(drain=True, timeout=1)
+        except BaseException as exc:  # pragma: no cover - the assert reports it
+            errors.append(exc)
+
+    closers = [threading.Thread(target=closer) for _ in range(3)]
+    for thread in closers:
+        thread.start()
+    for thread in closers:
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+    assert errors == []
+    assert not [t for t in threading.enumerate() if t.name.startswith("decode-")]
+    service.close()  # after full termination: still a no-op
+    with pytest.raises(ServiceClosed):
+        handle.result(timeout=5)
+    with pytest.raises(ServiceClosed):
+        service.open_stream(code=surface_d3, noise=HEAVY, shots=4, rounds=8)
+    with pytest.raises(ServiceClosed):
+        service.run(_make_streams(surface_d3, 1))
+
+
+def test_service_close_while_streams_backpressured(surface_d3, monkeypatch):
+    """Closing while the scheduler is blocked on a full work queue must not
+    deadlock: the slow worker drains the queue, aborts land, threads join."""
+    from repro.realtime.window import WindowSession
+
+    slow_step = WindowSession.step
+
+    def step(self):
+        time.sleep(0.02)
+        return slow_step(self)
+
+    monkeypatch.setattr(WindowSession, "step", step)
+    result = _recorded_run(surface_d3, HEAVY, shots=4, rounds=12, seed=31)
+    service = DecodeService(
+        window_rounds=2, commit_rounds=1, workers=1, queue_depth=1, fused=False
+    )
+    service.start()
+    handles = [
+        service.open_stream(
+            code=surface_d3, noise=HEAVY, shots=4, rounds=12, fused=False
+        )
+        for _ in range(3)
+    ]
+    for round_index in range(12):
+        for handle in handles:
+            handle.feed_round(result.detector_history[:, round_index, :])
+    time.sleep(0.05)  # let the scheduler wedge against the depth-1 queue
+    service.close(drain=False)
+    assert not [t for t in threading.enumerate() if t.name.startswith("decode-")]
+    for handle in handles:
+        with pytest.raises(ServiceClosed):
+            handle.result(timeout=5)
+    assert service.backpressure_stalls >= 0  # counter survived the abort
 
 
 # --------------------------------------------------------------------- #

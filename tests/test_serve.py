@@ -1,0 +1,380 @@
+"""End-to-end tests of the decode server (``repro.serve``).
+
+The load-bearing property is bit-identity: predictions that come back over
+the wire must equal what the in-process :class:`DecodeService` produces for
+the same recorded streams, across the full code-family × decoder-method ×
+coalescing matrix.  Around that sit the service-level behaviors: admission
+control, per-tenant caps, the live SLO snapshot, the websocket gateway and
+graceful drain.
+"""
+
+import asyncio
+import base64
+import os
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.codes import color_code, surface_code, toric_code
+from repro.core import make_policy
+from repro.noise import paper_noise
+from repro.realtime import DecodeService
+from repro.serve import (
+    FrameType,
+    ServeClient,
+    ServerConfig,
+    ServerThread,
+    StreamRejected,
+    decode_records,
+    encode_frame,
+)
+from repro.serve.protocol import (
+    FrameDecoder,
+    decode_result,
+    encode_chunk,
+    encode_final,
+    encode_json,
+)
+from repro.sim import LeakageSimulator, SimulatorOptions
+
+DISTANCE = 3
+SHOTS = 6
+ROUNDS = 7
+WINDOW = 3
+NOISE = {"p": 3e-3, "leakage_ratio": 1.0}
+FAMILIES = {"surface": surface_code, "color": color_code, "toric": toric_code}
+
+_RECORD_CACHE: dict[str, list] = {}
+
+
+def _records(family: str, count: int = 3) -> list:
+    """Recorded ``(history, final, flips)`` streams, cached per family."""
+    if family not in _RECORD_CACHE:
+        records = []
+        for index in range(count):
+            simulator = LeakageSimulator(
+                code=FAMILIES[family](DISTANCE),
+                noise=paper_noise(**NOISE),
+                policy=make_policy("gladiator+m"),
+                options=SimulatorOptions(record_detectors=True),
+                seed=31 + 17 * index,
+            )
+            result = simulator.run(shots=SHOTS, rounds=ROUNDS)
+            records.append(
+                (
+                    result.detector_history,
+                    result.final_detectors,
+                    result.observable_flips,
+                )
+            )
+        _RECORD_CACHE[family] = records
+    return _RECORD_CACHE[family]
+
+
+def _inprocess(family: str, method: str, coalesce: bool) -> list[np.ndarray]:
+    """Reference predictions from the in-process push-mode DecodeService."""
+    records = _records(family)
+    service = DecodeService(
+        window_rounds=WINDOW,
+        method=method,
+        workers=2,
+        fused=True,
+        coalesce=coalesce,
+    )
+    try:
+        service.start()
+        noise = paper_noise(**NOISE)
+        handles = [
+            service.open_stream(
+                code=FAMILIES[family](DISTANCE),
+                noise=noise,
+                shots=SHOTS,
+                rounds=ROUNDS,
+            )
+            for _ in records
+        ]
+        for round_index in range(ROUNDS):
+            for (history, _, _), handle in zip(records, handles):
+                handle.feed_round(history[:, round_index, :])
+        for (_, final, flips), handle in zip(records, handles):
+            handle.finish(final, flips)
+        for handle in handles:
+            handle.result(timeout=120)
+        return [handle.predictions for handle in handles]
+    finally:
+        service.close()
+
+
+# --------------------------------------------------------------------- #
+# Bit-identity across the scenario matrix
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("coalesce", [True, False], ids=["coalesce", "solo"])
+@pytest.mark.parametrize("method", ["matching", "union_find"])
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_served_predictions_bit_identical(family, method, coalesce):
+    records = _records(family)
+    reference = _inprocess(family, method, coalesce)
+
+    config = ServerConfig(
+        port=0,
+        shards=2,
+        workers_per_shard=2,
+        window_rounds=WINDOW,
+        method=method,
+        fused=True,
+        coalesce=coalesce,
+    )
+    with ServerThread(config) as server:
+        results = decode_records(
+            "127.0.0.1",
+            server.port,
+            records,
+            code={"family": family, "distance": DISTANCE},
+            noise=NOISE,
+            tenant="matrix",
+        )
+
+    assert len(results) == len(records)
+    for result, expected, (_, _, flips) in zip(results, reference, records):
+        assert np.array_equal(result.predictions, expected)
+        assert result.failures == int((expected ^ flips).sum())
+        assert result.summary["windows"] > 0
+
+
+# --------------------------------------------------------------------- #
+# Admission control and tenant caps
+# --------------------------------------------------------------------- #
+def test_admission_cap_rejects_and_counts():
+    config = ServerConfig(port=0, shards=1, workers_per_shard=1, max_streams=1)
+    with ServerThread(config) as server:
+
+        async def scenario():
+            async with ServeClient() as client:
+                await client.connect("127.0.0.1", server.port, tenant="cap")
+                first = await client.open_stream(
+                    code={"family": "surface", "distance": DISTANCE},
+                    noise=NOISE,
+                    shots=4,
+                    rounds=6,
+                )
+                with pytest.raises(StreamRejected, match="capacity"):
+                    await client.open_stream(
+                        code={"family": "surface", "distance": DISTANCE},
+                        noise=NOISE,
+                        shots=4,
+                        rounds=6,
+                    )
+                await first.close()
+
+        asyncio.run(scenario())
+        assert server.status()["admission_rejected"] == 1
+
+
+def test_per_tenant_cap_is_independent_of_server_cap():
+    config = ServerConfig(
+        port=0, shards=1, workers_per_shard=1, max_streams=8, max_streams_per_tenant=1
+    )
+    with ServerThread(config) as server:
+
+        async def scenario():
+            async with ServeClient() as hog, ServeClient() as other:
+                await hog.connect("127.0.0.1", server.port, tenant="hog")
+                await other.connect("127.0.0.1", server.port, tenant="other")
+                held = await hog.open_stream(
+                    code={"family": "surface", "distance": DISTANCE},
+                    noise=NOISE,
+                    shots=4,
+                    rounds=6,
+                )
+                with pytest.raises(StreamRejected, match="tenant at capacity"):
+                    await hog.open_stream(
+                        code={"family": "surface", "distance": DISTANCE},
+                        noise=NOISE,
+                        shots=4,
+                        rounds=6,
+                    )
+                # A different tenant is still admitted.
+                ok = await other.open_stream(
+                    code={"family": "surface", "distance": DISTANCE},
+                    noise=NOISE,
+                    shots=4,
+                    rounds=6,
+                )
+                await held.close()
+                await ok.close()
+
+        asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------- #
+# SLO accounting
+# --------------------------------------------------------------------- #
+def test_slo_snapshot_reflects_served_traffic():
+    config = ServerConfig(
+        port=0, shards=1, workers_per_shard=2, window_rounds=WINDOW, coalesce=True
+    )
+    with ServerThread(config) as server:
+        records = _records("surface")
+        decode_records(
+            "127.0.0.1",
+            server.port,
+            records,
+            code={"family": "surface", "distance": DISTANCE},
+            noise=NOISE,
+            tenant="slo",
+        )
+        status = server.status()
+
+    assert status["streams_done"] == len(records)
+    # Windowed commits report here; the tail commit lands inside finish().
+    assert 0 < status["rounds"] <= len(records) * ROUNDS
+    assert status["windows"] > 0
+    assert status["round_latency_p50_ns"] > 0
+    assert status["round_latency_p99_ns"] >= status["round_latency_p50_ns"]
+    assert status["round_latency_p999_ns"] >= status["round_latency_p99_ns"]
+    assert status["slo_p99"] == pytest.approx(
+        status["round_latency_p99_ns"] / status["hardware_round_ns"]
+    )
+    # All three streams run concurrently, so some windows must coalesce.
+    assert status["coalesce_ratio"] > 1.0
+    assert status["admission_rejected"] == 0
+    assert status["active_streams"] == 0
+
+
+# --------------------------------------------------------------------- #
+# Websocket gateway
+# --------------------------------------------------------------------- #
+def _ws_connect(port: int) -> socket.socket:
+    sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+    sock.settimeout(30)
+    key = base64.b64encode(os.urandom(16)).decode("ascii")
+    request = (
+        f"GET /decode HTTP/1.1\r\nHost: 127.0.0.1:{port}\r\n"
+        "Upgrade: websocket\r\nConnection: Upgrade\r\n"
+        f"Sec-WebSocket-Key: {key}\r\nSec-WebSocket-Version: 13\r\n\r\n"
+    )
+    sock.sendall(request.encode("ascii"))
+    response = b""
+    while b"\r\n\r\n" not in response:
+        response += sock.recv(4096)
+    assert b" 101 " in response.split(b"\r\n", 1)[0]
+    return sock
+
+
+def _ws_send(sock: socket.socket, frame_type: FrameType, payload: bytes) -> None:
+    body = bytes([frame_type]) + payload
+    mask = os.urandom(4)
+    head = b"\x82"  # FIN + binary opcode
+    if len(body) < 126:
+        head += bytes([0x80 | len(body)])
+    else:
+        head += bytes([0x80 | 126]) + struct.pack(">H", len(body))
+    masked = bytes(b ^ mask[i % 4] for i, b in enumerate(body))
+    sock.sendall(head + mask + masked)
+
+
+def _ws_recv(sock: socket.socket) -> tuple[FrameType, bytes]:
+    def read_exact(n: int) -> bytes:
+        buf = b""
+        while len(buf) < n:
+            chunk = sock.recv(n - len(buf))
+            if not chunk:
+                raise ConnectionError("websocket closed")
+            buf += chunk
+        return buf
+
+    first, second = read_exact(2)
+    assert first & 0x0F == 0x2, "expected a binary websocket frame"
+    length = second & 0x7F
+    if length == 126:
+        (length,) = struct.unpack(">H", read_exact(2))
+    elif length == 127:
+        (length,) = struct.unpack(">Q", read_exact(8))
+    body = read_exact(length)
+    return FrameType(body[0]), body[1:]
+
+
+def test_websocket_round_trip_matches_tcp():
+    config = ServerConfig(
+        port=0, shards=1, workers_per_shard=2, window_rounds=WINDOW, coalesce=False
+    )
+    records = _records("surface")[:1]
+    history, final, flips = records[0]
+    reference = _inprocess("surface", "matching", False)[0]
+
+    with ServerThread(config, websocket=True) as server:
+        with _ws_connect(server.ws_port) as sock:
+            _ws_send(
+                sock,
+                FrameType.HELLO,
+                encode_json({"tenant": "ws", "protocol": 1}),
+            )
+            frame_type, _ = _ws_recv(sock)
+            assert frame_type == FrameType.WELCOME
+            _ws_send(
+                sock,
+                FrameType.OPEN,
+                encode_json(
+                    {
+                        "stream": 0,
+                        "shots": SHOTS,
+                        "rounds": ROUNDS,
+                        "code": {"family": "surface", "distance": DISTANCE},
+                        "noise": NOISE,
+                    }
+                ),
+            )
+            frame_type, _ = _ws_recv(sock)
+            assert frame_type == FrameType.ACCEPT
+            for round_index in range(ROUNDS):
+                _ws_send(
+                    sock,
+                    FrameType.CHUNK,
+                    encode_chunk(0, round_index, history[:, round_index, :]),
+                )
+            _ws_send(sock, FrameType.FINAL, encode_final(0, final, flips))
+            frame_type, payload = _ws_recv(sock)
+            assert frame_type == FrameType.RESULT
+            stream_id, predictions, failures, summary = decode_result(payload)
+
+    assert stream_id == 0
+    assert np.array_equal(predictions, reference)
+    assert failures == int((reference ^ flips).sum())
+    assert summary["rounds_committed"] == ROUNDS
+
+
+# --------------------------------------------------------------------- #
+# Graceful drain
+# --------------------------------------------------------------------- #
+def test_shutdown_broadcasts_drain_to_connected_clients():
+    config = ServerConfig(port=0, shards=1, workers_per_shard=1)
+    server = ServerThread(config).start()
+    try:
+        sock = socket.create_connection(("127.0.0.1", server.port), timeout=30)
+        sock.settimeout(30)
+        sock.sendall(
+            encode_frame(
+                FrameType.HELLO, encode_json({"tenant": "drainee", "protocol": 1})
+            )
+        )
+        decoder = FrameDecoder()
+        seen: list[FrameType] = []
+
+        stopper = threading.Thread(target=server.stop)
+        while FrameType.DRAIN not in seen:
+            data = sock.recv(4096)
+            if not data:
+                break
+            for frame_type, _ in decoder.feed(data):
+                seen.append(frame_type)
+                if frame_type == FrameType.WELCOME and not stopper.is_alive():
+                    stopper.start()
+        stopper.join(timeout=60)
+        sock.close()
+        assert seen[0] == FrameType.WELCOME
+        assert FrameType.DRAIN in seen
+    finally:
+        server.stop()

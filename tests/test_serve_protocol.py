@@ -1,0 +1,263 @@
+"""Property tests of the decode-service wire protocol (``repro.serve.protocol``).
+
+Round-trips every codec under hypothesis, fuzzes the incremental
+:class:`FrameDecoder` with arbitrary split points and garbage bytes, and
+checks the robustness contract end to end: a hostile byte stream costs the
+sender its connection (an ``ERROR`` frame, then hang-up) but never the
+server's event loop.
+"""
+
+import socket
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.serve import ServerConfig, ServerThread
+from repro.serve.protocol import (
+    MAX_PAYLOAD,
+    FrameDecoder,
+    FrameType,
+    ProtocolError,
+    decode_chunk,
+    decode_final,
+    decode_json,
+    decode_result,
+    encode_chunk,
+    encode_final,
+    encode_frame,
+    encode_json,
+    encode_result,
+    pack_bools,
+    unpack_bools,
+)
+from strategies import (
+    chunk_payloads,
+    final_payloads,
+    json_summaries,
+    result_payloads,
+    wire_frames,
+)
+
+
+# --------------------------------------------------------------------- #
+# Framing layer
+# --------------------------------------------------------------------- #
+@given(st.lists(wire_frames(), min_size=1, max_size=6), st.data())
+def test_frame_round_trip_any_split_points(frames, data):
+    """A frame stream reassembles identically however the bytes arrive."""
+    wire = b"".join(encode_frame(t, p) for t, p in frames)
+    cuts = sorted(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(wire)), max_size=8
+            )
+        )
+    )
+    decoder = FrameDecoder()
+    decoded = []
+    previous = 0
+    for cut in [*cuts, len(wire)]:
+        decoded.extend(decoder.feed(wire[previous:cut]))
+        previous = cut
+    assert decoded == frames
+    assert decoder.buffered == 0
+
+
+@given(wire_frames())
+def test_partial_frame_stays_buffered(frame):
+    """All but the last byte of a frame parses to nothing, poison-free."""
+    wire = encode_frame(*frame)
+    decoder = FrameDecoder()
+    assert decoder.feed(wire[:-1]) == []
+    assert decoder.buffered == len(wire) - 1
+    assert decoder.feed(wire[-1:]) == [frame]
+
+
+@given(st.binary(max_size=512))
+def test_garbage_bytes_never_raise_unexpectedly(data):
+    """Arbitrary bytes either parse or raise ProtocolError — nothing else."""
+    decoder = FrameDecoder()
+    try:
+        decoder.feed(data)
+    except ProtocolError:
+        # Poisoned decoders refuse further input by contract.
+        with pytest.raises(ProtocolError):
+            decoder.feed(b"")
+
+
+def test_oversized_length_rejected_before_buffering():
+    decoder = FrameDecoder()
+    with pytest.raises(ProtocolError, match="exceeds MAX_PAYLOAD"):
+        decoder.feed(struct.pack(">I", MAX_PAYLOAD + 1))
+
+
+def test_zero_length_frame_rejected():
+    with pytest.raises(ProtocolError, match="zero-length"):
+        FrameDecoder().feed(struct.pack(">I", 0))
+
+
+def test_unknown_frame_type_rejected():
+    with pytest.raises(ProtocolError, match="unknown frame type"):
+        FrameDecoder().feed(struct.pack(">I", 1) + b"\xff")
+
+
+def test_encode_frame_rejects_oversized_payload():
+    with pytest.raises(ProtocolError, match="exceeds MAX_PAYLOAD"):
+        encode_frame(FrameType.CHUNK, b"\x00" * MAX_PAYLOAD)
+
+
+# --------------------------------------------------------------------- #
+# Typed payload codecs
+# --------------------------------------------------------------------- #
+@given(json_summaries())
+def test_json_round_trip(obj):
+    assert decode_json(encode_json(obj)) == obj
+
+
+@given(st.binary(max_size=64))
+def test_decode_json_garbage_is_protocol_error(data):
+    try:
+        decode_json(data)
+    except ProtocolError:
+        pass
+
+
+def test_decode_json_rejects_non_object():
+    with pytest.raises(ProtocolError, match="must be an object"):
+        decode_json(b"[1,2,3]")
+
+
+@given(chunk_payloads())
+def test_chunk_round_trip(payload):
+    stream, round_index, detectors = payload
+    out_stream, out_round, out = decode_chunk(encode_chunk(*payload))
+    assert (out_stream, out_round) == (stream, round_index)
+    assert out.shape == detectors.shape
+    assert np.array_equal(out, detectors)
+
+
+@given(chunk_payloads())
+def test_chunk_truncation_rejected(payload):
+    wire = encode_chunk(*payload)
+    for cut in {0, 3, len(wire) - 1} - {len(wire)}:
+        with pytest.raises(ProtocolError):
+            decode_chunk(wire[:cut])
+    with pytest.raises(ProtocolError):
+        decode_chunk(wire + b"\x00")
+
+
+@given(final_payloads())
+def test_final_round_trip(payload):
+    stream, final, flips = payload
+    out_stream, out_final, out_flips = decode_final(encode_final(*payload))
+    assert out_stream == stream
+    assert np.array_equal(out_final, final)
+    if flips is None:
+        assert out_flips is None
+    else:
+        assert np.array_equal(out_flips, flips)
+
+
+def test_final_unknown_flags_rejected():
+    wire = bytearray(encode_final(1, np.zeros((2, 3), dtype=bool)))
+    wire[12] = 0x80  # flags byte of the _FINAL_HEADER
+    with pytest.raises(ProtocolError, match="unknown final flags"):
+        decode_final(bytes(wire))
+
+
+def test_final_trailing_bytes_rejected():
+    wire = encode_final(1, np.zeros((2, 3), dtype=bool))
+    with pytest.raises(ProtocolError, match="trailing bytes"):
+        decode_final(wire + b"\x00")
+
+
+@given(result_payloads())
+def test_result_round_trip(payload):
+    stream, predictions, failures, summary = payload
+    out_stream, out_pred, out_failures, out_summary = decode_result(
+        encode_result(*payload)
+    )
+    assert (out_stream, out_failures) == (stream, failures)
+    assert np.array_equal(out_pred, predictions)
+    assert out_summary == summary
+
+
+def test_result_truncation_rejected():
+    wire = encode_result(3, np.ones(9, dtype=bool), 2, {"windows": 4})
+    with pytest.raises(ProtocolError):
+        decode_result(wire[:6])
+
+
+@given(st.integers(min_value=0, max_value=5), st.integers(min_value=1, max_value=40))
+def test_pack_unpack_inverse(shots, detectors):
+    block = np.random.default_rng(shots * 41 + detectors).random(
+        (shots, detectors)
+    ) < 0.5
+    assert np.array_equal(unpack_bools(pack_bools(block), block.shape), block)
+
+
+def test_unpack_wrong_size_rejected():
+    with pytest.raises(ProtocolError, match="packed block"):
+        unpack_bools(b"\x00", (3, 3))  # 9 bits pack to 2 bytes, not 1
+
+
+# --------------------------------------------------------------------- #
+# The server survives hostile bytes
+# --------------------------------------------------------------------- #
+def _raw_connect(port: int) -> socket.socket:
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+    sock.settimeout(10)
+    return sock
+
+
+def _read_frames(
+    sock: socket.socket, until: FrameType | None = None
+) -> list[tuple[FrameType, bytes]]:
+    """Collect frames until EOF (or until a frame of type ``until`` lands)."""
+    decoder = FrameDecoder()
+    frames: list[tuple[FrameType, bytes]] = []
+    while True:
+        try:
+            data = sock.recv(4096)
+        except TimeoutError:
+            break
+        if not data:
+            break
+        frames.extend(decoder.feed(data))
+        if until is not None and any(t == until for t, _ in frames):
+            break
+    return frames
+
+
+def test_garbage_connection_gets_error_frame_and_server_survives():
+    """Malformed frames kill one connection, never the event loop."""
+    config = ServerConfig(port=0, shards=1, workers_per_shard=1)
+    with ServerThread(config) as server:
+        hostile = [
+            b"\x00\x00\x00\x00garbage",  # zero-length frame
+            struct.pack(">I", MAX_PAYLOAD + 7),  # absurd length prefix
+            struct.pack(">I", 1) + b"\xee",  # unknown frame type
+            encode_frame(FrameType.HELLO, b"\xff\xfenot json"),  # bad JSON
+        ]
+        for wire in hostile:
+            with _raw_connect(server.port) as sock:
+                sock.sendall(wire)
+                frames = _read_frames(sock)
+                # The server either got far enough to answer ERROR or hung
+                # up immediately; either way the connection is done.
+                assert all(t == FrameType.ERROR for t, _ in frames)
+        # A well-formed session still works afterwards.
+        with _raw_connect(server.port) as sock:
+            sock.sendall(
+                encode_frame(
+                    FrameType.HELLO, encode_json({"tenant": "probe", "protocol": 1})
+                )
+            )
+            sock.sendall(encode_frame(FrameType.STATUS, encode_json({})))
+            frames = _read_frames(sock, until=FrameType.STATUS_REPLY)
+        types = [t for t, _ in frames]
+        assert FrameType.WELCOME in types
+        assert FrameType.STATUS_REPLY in types
