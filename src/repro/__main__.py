@@ -176,6 +176,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        if args.distributed:
+            print(
+                "error: --distributed needs the config-driven form "
+                "(--config/--set/--axis), not a named preset",
+                file=sys.stderr,
+            )
+            return 2
         from .obs import resolve_telemetry, telemetry_scope
         from .sweeps.__main__ import run as run_named_sweep
 
@@ -203,13 +210,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     config = _load_config(args)
     if args.workers is not None:
         config = config.override("execution.workers", args.workers)
+    if args.distributed:
+        config = config.override("execution.durable", True)
     session = Session.from_config(config)
     axes = _parse_axes(args.axes or [])
     # Same memoization behaviour as the preset branch: the CLI caches to
     # disk by default and --no-cache disables it (the library-level
     # Session.sweep default stays opt-in via REPRO_CACHE).
     cache = None if args.no_cache else SweepCache(default_cache_dir())
-    executor = SweepExecutor(workers=config.execution.workers, cache=cache)
+    executor: Any
+    if config.execution.durable:
+        # The durable fabric: journaled tasks, leases, crash-safe resume.
+        # Re-running the same command after a crash resumes from the
+        # journal under .repro_cache/fabric/ and merges bit-identically.
+        from .fabric import FabricExecutor
+
+        executor = FabricExecutor(workers=config.execution.workers, cache=cache)
+    else:
+        executor = SweepExecutor(workers=config.execution.workers, cache=cache)
 
     started = time.perf_counter()
     rows = session.sweep(axes, executor=executor)
@@ -219,10 +237,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         {k: v for k, v in row.items() if not hasattr(v, "shape")} for row in rows
     ]
     print(format_table(display, title=config.name))
-    print(
+    summary = (
         f"{len(rows)} rows in {elapsed:.2f}s "
         f"({executor.units_computed} computed, {executor.units_from_cache} cached)"
     )
+    if config.execution.durable:
+        summary += (
+            f" [durable: {executor.shards_executed} shards run, "
+            f"{executor.shards_from_checkpoint} from checkpoints, "
+            f"{executor.shards_retried} retried, "
+            f"{executor.shards_quarantined} quarantined]"
+        )
+    print(summary)
+    for unit, error in getattr(executor, "failed_units", []):
+        print(
+            f"warning: unit {unit.family}/{unit.policy} degraded: "
+            f"{error.strip().splitlines()[-1]}",
+            file=sys.stderr,
+        )
 
     out = args.out
     if out is None:
@@ -469,6 +501,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--workers", type=int, default=None, help="process-pool size")
     sweep_parser.add_argument("--no-cache", action="store_true", help="disable memoization")
+    sweep_parser.add_argument(
+        "--distributed",
+        action="store_true",
+        help="run through the durable fabric (journaled shards, leases, "
+        "crash-safe resume); re-run the same command to resume after a crash",
+    )
     _add_config_arguments(sweep_parser)
     sweep_parser.set_defaults(handler=_cmd_sweep)
 

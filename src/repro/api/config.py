@@ -183,7 +183,10 @@ class ExecutionConfig:
     ``serve_shards`` / ``serve_max_streams`` shape the network decode
     server (``python -m repro serve``): shard count and the server-wide
     admission cap.  They describe a serving deployment, never an
-    experiment — digest-exempt like the other perf knobs.
+    experiment — digest-exempt like the other perf knobs.  ``durable``
+    routes sweeps through the journaled :mod:`repro.fabric` executor
+    (checkpointed shards, worker leases, crash-safe resume); results are
+    bit-identical to the in-memory executor, so it too is digest-exempt.
     """
 
     shots: int = 100
@@ -197,6 +200,7 @@ class ExecutionConfig:
     workers: int | None = None
     telemetry: str | None = None
     fused: bool = False
+    durable: bool = False
     serve_shards: int | None = None
     serve_max_streams: int | None = None
 
@@ -359,7 +363,8 @@ class ExperimentConfig:
         """:meth:`to_dict` minus everything that cannot change results.
 
         Performance-only knobs — ``decoder.cache_size``, ``execution.workers``,
-        ``execution.telemetry``, ``execution.fused`` — and the cosmetic ``name`` are dropped, and component names are
+        ``execution.telemetry``, ``execution.fused``, ``execution.durable`` —
+        and the cosmetic ``name`` are dropped, and component names are
         canonicalised through the registries (``mwpm`` -> ``matching``,
         ``always`` -> ``always-lrc``, case folded), so two configs that
         simulate the same physics produce the same payload no matter how
@@ -372,6 +377,7 @@ class ExperimentConfig:
         payload["execution"].pop("workers")
         payload["execution"].pop("telemetry")
         payload["execution"].pop("fused")
+        payload["execution"].pop("durable")
         payload["execution"].pop("serve_shards")
         payload["execution"].pop("serve_max_streams")
         payload["code"]["name"] = CODES.canonical(payload["code"]["name"])

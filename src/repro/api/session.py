@@ -307,9 +307,16 @@ class Session:
             from ..sweeps.executor import SweepExecutor, cache_enabled
 
             cache = SweepCache(default_cache_dir()) if cache_enabled() else None
-            executor = SweepExecutor(
-                workers=self.config.execution.workers, cache=cache
-            )
+            if self.config.execution.durable:
+                from ..fabric import FabricExecutor
+
+                executor = FabricExecutor(
+                    workers=self.config.execution.workers, cache=cache
+                )
+            else:
+                executor = SweepExecutor(
+                    workers=self.config.execution.workers, cache=cache
+                )
         with self._telemetry():
             return executor.run_units(units)
 

@@ -1,0 +1,56 @@
+"""Durable sweep fabric: checkpointed jobs, leases, crash-safe resume.
+
+``repro.fabric`` is the durability layer under the sweep engine.  Where
+:class:`~repro.sweeps.executor.SweepExecutor` holds all in-flight progress
+in one process's memory, :class:`FabricExecutor` journals every
+(unit, shard) task to a :class:`JobStore` on disk, hands shards to
+workers under TTL :class:`leases <repro.fabric.lease.LeaseManager>`,
+wraps execution in a :class:`RetryPolicy` with poison-shard quarantine,
+and resumes crash-safely: re-running the same sweep loads completed shard
+checkpoints instead of recomputing them and merges bit-identical to an
+uninterrupted run.
+
+Turn it on with ``execution.durable`` in an
+:class:`~repro.api.config.ExperimentConfig` (digest-exempt — durable and
+in-memory runs of the same physics share cache entries) or from the CLI::
+
+    python -m repro sweep --distributed --config grid.json --axis code.distance=3,5
+
+Fault injection for tests and CI lives in :mod:`repro.fabric.chaos`,
+gated by the ``REPRO_CHAOS`` environment variable.
+"""
+
+from .chaos import ChaosConfig, ChaosError, active_chaos
+from .executor import FabricExecutor, FabricInterrupted, sweep_store_root
+from .jobstore import (
+    DONE,
+    FAILED,
+    LEASED,
+    PENDING,
+    JobStore,
+    TaskSpec,
+    decode_payload,
+    encode_payload,
+)
+from .lease import Lease, LeaseManager
+from .retry import RetryPolicy
+
+__all__ = [
+    "FabricExecutor",
+    "FabricInterrupted",
+    "sweep_store_root",
+    "JobStore",
+    "TaskSpec",
+    "PENDING",
+    "LEASED",
+    "DONE",
+    "FAILED",
+    "encode_payload",
+    "decode_payload",
+    "Lease",
+    "LeaseManager",
+    "RetryPolicy",
+    "ChaosConfig",
+    "ChaosError",
+    "active_chaos",
+]

@@ -1,0 +1,69 @@
+"""Retry policy: bounded exponential backoff, jitter, poison quarantine.
+
+Shard execution fails for two very different reasons.  *Transient* faults
+— a worker OOM-killed under memory pressure, a chaos-injected exception, a
+broken process pool — deserve another attempt after a short, growing
+pause.  *Poison* shards — ones that fail deterministically, attempt after
+attempt — must not wedge the sweep: after ``max_attempts`` strikes the
+task is journaled FAILED with its captured traceback, the sweep keeps
+going, and the affected unit degrades to an error row in the output
+instead of hanging the whole grid.
+
+The jitter is a pure hash of ``(task_id, attempt)`` rather than a live
+RNG draw: retries desynchronise (no thundering herd when a pool dies and
+ten shards retry together) while the schedule stays exactly reproducible
+and the simulation RNG contract stays untouched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import traceback
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "format_failure"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often to retry a shard and how long to wait between strikes.
+
+    ``max_attempts`` counts executions, not retries: 5 means one initial
+    try plus four retries, then quarantine.  Delays follow
+    ``base_delay * 2**(attempt-1)`` capped at ``max_delay``, plus up to
+    ``jitter`` fractional spread derived deterministically from the task.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must lie in [0, 1]")
+
+    def exhausted(self, attempts: int) -> bool:
+        """True once ``attempts`` executions have failed (quarantine time)."""
+        return attempts >= self.max_attempts
+
+    def delay(self, task_id: str, attempts: int) -> float:
+        """Seconds to wait before running attempt ``attempts`` (1-based count
+        of failures so far); deterministic per (task, attempt)."""
+        if attempts <= 0:
+            return 0.0
+        backoff = min(self.base_delay * (2.0 ** (attempts - 1)), self.max_delay)
+        digest = hashlib.sha256(f"{task_id}:{attempts}".encode()).digest()
+        spread = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return backoff * (1.0 + self.jitter * spread)
+
+
+def format_failure(exc: BaseException) -> str:
+    """Traceback text captured into a FAILED task's journal record."""
+    return "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    ).strip()

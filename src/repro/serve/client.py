@@ -115,13 +115,41 @@ class ServeClient:
         self.welcome: dict | None = None
         self.draining = False
         self._closed_exc: BaseException | None = None
+        self.connect_retries = 0
+        self.reject_retries = 0
 
     # ------------------------------------------------------------------ #
     # Connection lifecycle
     # ------------------------------------------------------------------ #
-    async def connect(self, host: str, port: int, tenant: str = "anonymous") -> dict:
+    async def connect(
+        self,
+        host: str,
+        port: int,
+        tenant: str = "anonymous",
+        *,
+        retries: int = 0,
+        backoff: float = 0.05,
+    ) -> dict:
+        """Connect and handshake; raises the server's first-frame errors.
+
+        ``retries`` bounds extra connection attempts after a transient
+        socket failure (refused, reset, unreachable); waits between
+        attempts grow as ``backoff * 2**attempt``, capped at one second.
+        The handshake itself is never retried — a server that answers
+        with an ERROR frame is up and saying no.
+        """
         self._loop = asyncio.get_running_loop()
-        self._reader, self._writer = await asyncio.open_connection(host, port)
+        attempt = 0
+        while True:
+            try:
+                self._reader, self._writer = await asyncio.open_connection(host, port)
+                break
+            except OSError:
+                if attempt >= retries:
+                    raise
+                await asyncio.sleep(min(backoff * 2**attempt, 1.0))
+                attempt += 1
+                self.connect_retries += 1
         await self._write(
             FrameType.HELLO,
             encode_json({"tenant": tenant, "protocol": PROTOCOL_VERSION}),
@@ -167,6 +195,8 @@ class ServeClient:
         noise: dict,
         shots: int,
         rounds: int,
+        accept_retries: int = 0,
+        retry_backoff: float = 0.05,
         **overrides,
     ) -> ClientStream:
         """OPEN a stream and wait for ACCEPT (raises :class:`StreamRejected`).
@@ -175,22 +205,42 @@ class ServeClient:
         and ``noise`` is ``{"p": ..., "leakage_ratio": ...}``; ``overrides``
         pass through per-stream decoder knobs (``window_rounds``,
         ``commit_rounds``, ``method``, ``strategy``, ``fused``).
+
+        ``accept_retries`` bounds re-OPEN attempts after a ``REJECT``
+        (admission control pushes back when the server or tenant is at
+        capacity — transient by design, capacity frees as streams finish).
+        Each attempt uses a fresh stream id and waits
+        ``retry_backoff * 2**attempt`` (capped at one second) first.
+        Stream errors and protocol errors are never retried.
         """
-        stream_id = self._next_stream
-        self._next_stream += 1
-        stream = ClientStream(self, stream_id, shots, rounds)
-        self._streams[stream_id] = stream
-        request = {
-            "stream": stream_id,
-            "shots": int(shots),
-            "rounds": int(rounds),
-            "code": code,
-            "noise": noise,
-        }
-        request.update({k: v for k, v in overrides.items() if v is not None})
-        await self._write(FrameType.OPEN, encode_json(request))
-        await stream.accepted
-        return stream
+        attempt = 0
+        while True:
+            stream_id = self._next_stream
+            self._next_stream += 1
+            stream = ClientStream(self, stream_id, shots, rounds)
+            self._streams[stream_id] = stream
+            request = {
+                "stream": stream_id,
+                "shots": int(shots),
+                "rounds": int(rounds),
+                "code": code,
+                "noise": noise,
+            }
+            request.update({k: v for k, v in overrides.items() if v is not None})
+            await self._write(FrameType.OPEN, encode_json(request))
+            try:
+                await stream.accepted
+            except StreamRejected:
+                # The server never saw this id accept; drop the handle so a
+                # late RESULT for a recycled id cannot alias onto it.
+                self._streams.pop(stream_id, None)
+                if attempt >= accept_retries:
+                    raise
+                await asyncio.sleep(min(retry_backoff * 2**attempt, 1.0))
+                attempt += 1
+                self.reject_retries += 1
+                continue
+            return stream
 
     async def status(self) -> dict:
         """Fetch the server's live SLO/status snapshot."""
@@ -295,10 +345,15 @@ async def _drive_streams(
     records,
     code: dict,
     noise: dict,
+    connect_retries: int,
+    accept_retries: int,
+    retry_backoff: float,
     **overrides,
 ) -> list[StreamResult]:
     async with ServeClient() as client:
-        await client.connect(host, port, tenant=tenant)
+        await client.connect(
+            host, port, tenant=tenant, retries=connect_retries, backoff=retry_backoff
+        )
         streams = []
         for history, final, flips in records:
             history = np.asarray(history, dtype=bool)
@@ -308,6 +363,8 @@ async def _drive_streams(
                     noise=noise,
                     shots=history.shape[0],
                     rounds=history.shape[1],
+                    accept_retries=accept_retries,
+                    retry_backoff=retry_backoff,
                     **overrides,
                 )
             )
@@ -335,6 +392,9 @@ def decode_records(
     code: dict,
     noise: dict,
     tenant: str = "anonymous",
+    connect_retries: int = 0,
+    accept_retries: int = 0,
+    retry_backoff: float = 0.05,
     **overrides,
 ) -> list[StreamResult]:
     """Decode recorded streams through a running server, synchronously.
@@ -342,7 +402,22 @@ def decode_records(
     ``records`` is a sequence of ``(detector_history, final_detectors,
     observable_flips_or_None)`` triples; each becomes one concurrent stream
     on a single connection.  Returns the per-stream results in input order.
+    ``connect_retries``/``accept_retries``/``retry_backoff`` bound retries
+    of transient socket failures and admission ``REJECT``s (see
+    :meth:`ServeClient.connect` and :meth:`ServeClient.open_stream`); they
+    are client-side knobs and never appear in the wire request.
     """
     return asyncio.run(
-        _drive_streams(host, port, tenant, list(records), code, noise, **overrides)
+        _drive_streams(
+            host,
+            port,
+            tenant,
+            list(records),
+            code,
+            noise,
+            connect_retries,
+            accept_retries,
+            retry_backoff,
+            **overrides,
+        )
     )

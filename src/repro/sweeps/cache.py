@@ -9,26 +9,35 @@ instead of re-simulating; the 20 benchmark scripts share many identical
 (point, policy) runs, which is exactly the duplication this eliminates.
 
 The cache is deliberately dumb: one JSON file per unit, no locking beyond
-an atomic rename on write (concurrent writers of the same key produce the
-same bytes), and corruption is treated as a miss.
+an fsynced atomic rename on write (concurrent writers of the same key
+produce the same bytes).  A corrupt or truncated entry — e.g. after power
+loss on a filesystem without ordered journaling — is quarantined to
+``<key>.json.corrupt`` and treated as a miss, so one bad file can never
+wedge a sweep or mask itself as a persistent error.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
 from ..io.results import _jsonable
+from ..obs.metrics import METRICS
 from .units import ENGINE_VERSION
 
 __all__ = ["SweepCache", "default_cache_dir"]
 
 #: Default cache location, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
+
+_OBS_CORRUPT = METRICS.counter(
+    "sweep.cache.corrupt", "sweep cache files quarantined as corrupt"
+)
 
 
 def default_cache_dir() -> Path:
@@ -39,8 +48,8 @@ def default_cache_dir() -> Path:
 class SweepCache:
     """JSON file cache of unit summary rows, keyed by content hash.
 
-    Counters (``hits``, ``misses``, ``stores``) are exposed so tests and the
-    CLI can assert that a re-run skipped recomputation.
+    Counters (``hits``, ``misses``, ``stores``, ``corrupt``) are exposed so
+    tests and the CLI can assert that a re-run skipped recomputation.
     """
 
     def __init__(self, root: str | Path | None = None) -> None:
@@ -48,16 +57,38 @@ class SweepCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unparseable entry aside so the next run re-simulates it."""
+        try:
+            path.replace(Path(f"{path}.corrupt"))
+        except OSError:
+            # Lost a race with another reader, or the file vanished; either
+            # way the entry is gone and the miss path handles it.
+            pass
+        self.corrupt += 1
+        _OBS_CORRUPT.inc()
 
     def get(self, key: str) -> dict[str, Any] | None:
         """Return the cached summary row for ``key``, or None on a miss."""
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict) or "row" not in payload:
+                raise ValueError("cache entry is not a summary payload")
+        except (json.JSONDecodeError, ValueError):
+            # A file that exists but does not parse is damage (torn write,
+            # disk corruption), not a plain miss: quarantine it.
+            self._quarantine(path)
             self.misses += 1
             return None
         if payload.get("engine") != ENGINE_VERSION:
@@ -75,8 +106,13 @@ class SweepCache:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(key)
         payload = {"engine": ENGINE_VERSION, "key": key, "row": _jsonable(row)}
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{threading.get_ident()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True))
+            handle.flush()
+            # fsync before the rename: otherwise a crash can leave the
+            # rename durable but the contents empty, i.e. a corrupt entry.
+            os.fsync(handle.fileno())
         tmp.replace(path)
         self.stores += 1
 

@@ -23,6 +23,7 @@ import numpy as np
 from hypothesis import settings
 from hypothesis import strategies as st
 
+from repro.fabric.jobstore import FAILED, STATES, TASK_SCHEMA
 from repro.fuzz import EXECUTION_MODES, ScenarioCell, SmallInstance, cell_config
 from repro.serve.protocol import FrameType
 
@@ -42,6 +43,9 @@ __all__ = [
     "final_payloads",
     "result_payloads",
     "json_summaries",
+    "shard_payloads",
+    "task_records",
+    "torn_journal_bytes",
 ]
 
 settings.register_profile(
@@ -205,6 +209,90 @@ def result_payloads(
     predictions = _bool_block(draw, (shots,))
     failures = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=shots)))
     return stream, predictions, failures, draw(json_summaries())
+
+
+# --------------------------------------------------------------------------- #
+# Durable fabric journal (repro.fabric.jobstore)
+# --------------------------------------------------------------------------- #
+@st.composite
+def shard_payloads(draw, max_dim: int = 4) -> dict:
+    """A shard-result-shaped payload: scalars plus bit-exact ndarrays.
+
+    Mimics what ``run_shard`` returns — nested dicts whose leaves are
+    Python scalars or NumPy arrays of the dtypes the merge path carries
+    (bool masks, int counters, float accumulators) — so the codec round
+    trip is exercised over exactly the value shapes the checkpoint files
+    must preserve bit-for-bit.
+    """
+    dtype = draw(st.sampled_from(["bool", "int64", "float64", "uint8"]))
+    shape = tuple(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=max_dim), min_size=1, max_size=3
+            )
+        )
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    if dtype == "bool":
+        array = rng.random(shape) < 0.5
+    elif dtype == "float64":
+        array = rng.standard_normal(shape)
+    else:
+        array = rng.integers(0, 200, size=shape).astype(dtype)
+    scalars = st.one_of(
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.booleans(),
+        st.none(),
+        st.text(max_size=8),
+    )
+    payload = draw(
+        st.dictionaries(st.text(min_size=1, max_size=10), scalars, max_size=4)
+    )
+    payload["array"] = array
+    payload["nested"] = {"values": [array[..., : max(array.shape[-1] // 2, 0)], 7]}
+    return payload
+
+
+@st.composite
+def task_records(draw) -> dict:
+    """A well-formed journal record, as ``JobStore.write_task`` persists it."""
+    state = draw(st.sampled_from(STATES))
+    return {
+        "schema": TASK_SCHEMA,
+        "task": draw(
+            st.text(
+                alphabet="abcdef0123456789-", min_size=1, max_size=24
+            ).filter(lambda s: not s.startswith("."))
+        ),
+        "state": state,
+        "attempts": draw(st.integers(min_value=0, max_value=9)),
+        "owner": draw(st.one_of(st.none(), st.text(min_size=1, max_size=12))),
+        "error": "boom" if state == FAILED else None,
+        "shots": draw(st.integers(min_value=1, max_value=5000)),
+        "seed": draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        "updated": draw(
+            st.floats(min_value=0, max_value=2e9, allow_nan=False)
+        ),
+    }
+
+
+@st.composite
+def torn_journal_bytes(draw) -> tuple[dict, bytes]:
+    """``(record, damaged_bytes)`` — a journal write torn at any offset.
+
+    The damage model matches the chaos harness: the serialized record is
+    truncated at an arbitrary point (possibly zero bytes, never the full
+    clean payload), exactly what a power cut leaves on a non-atomic
+    filesystem.
+    """
+    import json
+
+    record = draw(task_records())
+    data = json.dumps(record, sort_keys=True).encode()
+    cut = draw(st.integers(min_value=0, max_value=max(len(data) - 1, 0)))
+    return record, data[:cut]
 
 
 # --------------------------------------------------------------------------- #

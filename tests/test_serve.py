@@ -14,6 +14,7 @@ import os
 import socket
 import struct
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -207,6 +208,133 @@ def test_per_tenant_cap_is_independent_of_server_cap():
                 await ok.close()
 
         asyncio.run(scenario())
+
+
+# --------------------------------------------------------------------- #
+# Client retry-with-backoff
+# --------------------------------------------------------------------- #
+def test_open_stream_retries_past_transient_reject():
+    """An OPEN bounced by admission control succeeds on retry once capacity
+    frees, without the caller seeing the REJECT."""
+    config = ServerConfig(port=0, shards=1, workers_per_shard=1, max_streams=1)
+    with ServerThread(config) as server:
+
+        async def scenario():
+            async with ServeClient() as client:
+                await client.connect("127.0.0.1", server.port, tenant="retry")
+                first = await client.open_stream(
+                    code={"family": "surface", "distance": DISTANCE},
+                    noise=NOISE,
+                    shots=4,
+                    rounds=6,
+                )
+
+                async def release_soon():
+                    await asyncio.sleep(0.15)
+                    await first.close()
+
+                releaser = asyncio.ensure_future(release_soon())
+                second = await client.open_stream(
+                    code={"family": "surface", "distance": DISTANCE},
+                    noise=NOISE,
+                    shots=4,
+                    rounds=6,
+                    accept_retries=10,
+                    retry_backoff=0.05,
+                )
+                await releaser
+                assert client.reject_retries >= 1
+                # Each attempt consumed a fresh stream id.
+                assert second.stream_id > first.stream_id + 1
+                await second.close()
+
+        asyncio.run(scenario())
+        assert server.status()["admission_rejected"] >= 1
+
+
+def test_open_stream_retry_budget_is_bounded():
+    """With capacity never freeing, the retry loop gives up after its budget
+    and surfaces the original StreamRejected."""
+    config = ServerConfig(port=0, shards=1, workers_per_shard=1, max_streams=1)
+    with ServerThread(config) as server:
+
+        async def scenario():
+            async with ServeClient() as client:
+                await client.connect("127.0.0.1", server.port, tenant="bounded")
+                held = await client.open_stream(
+                    code={"family": "surface", "distance": DISTANCE},
+                    noise=NOISE,
+                    shots=4,
+                    rounds=6,
+                )
+                with pytest.raises(StreamRejected, match="capacity"):
+                    await client.open_stream(
+                        code={"family": "surface", "distance": DISTANCE},
+                        noise=NOISE,
+                        shots=4,
+                        rounds=6,
+                        accept_retries=2,
+                        retry_backoff=0.01,
+                    )
+                assert client.reject_retries == 2
+                await held.close()
+
+        asyncio.run(scenario())
+        assert server.status()["admission_rejected"] == 3
+
+
+def test_connect_retry_bounded_when_nothing_listens():
+    """Transient socket errors are retried with backoff, then re-raised."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+
+    async def scenario():
+        client = ServeClient()
+        with pytest.raises(OSError):
+            await client.connect("127.0.0.1", dead_port, retries=2, backoff=0.01)
+        assert client.connect_retries == 2
+
+    asyncio.run(scenario())
+
+
+def test_connect_retries_until_server_comes_up():
+    """A client started before its server wins the race via connect retries."""
+    with socket.socket() as probe:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+
+    server_box: dict = {}
+    ready = threading.Event()
+
+    def late_start():
+        ready.wait()
+        # Leave a window in which the client's first attempt must fail, so
+        # the success below provably came from a retry.
+        time.sleep(0.2)
+        server_box["server"] = ServerThread(
+            ServerConfig(port=port, shards=1, workers_per_shard=1)
+        ).start()
+
+    starter = threading.Thread(target=late_start, daemon=True)
+    starter.start()
+    try:
+
+        async def scenario():
+            async with ServeClient() as client:
+                ready.set()
+                welcome = await client.connect(
+                    "127.0.0.1", port, tenant="late", retries=40, backoff=0.05
+                )
+                assert welcome["protocol"] >= 1
+                assert client.connect_retries >= 1
+
+        asyncio.run(scenario())
+    finally:
+        starter.join(timeout=30)
+        if "server" in server_box:
+            server_box["server"].stop()
 
 
 # --------------------------------------------------------------------- #

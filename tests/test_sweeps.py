@@ -1,5 +1,6 @@
 """Tests of the parallel sweep engine: sharding, seeding, merging, caching."""
 
+import json
 import os
 
 import numpy as np
@@ -223,6 +224,45 @@ def test_cache_survives_corrupt_entries(tmp_path):
     (tmp_path / f"{key}.json").write_text("{not json")
     assert cache.get(key) is None
     assert cache.misses == 1
+
+
+def test_cache_quarantines_corrupt_entries(tmp_path):
+    """A damaged entry is moved to <key>.json.corrupt, not silently re-missed."""
+    cache = SweepCache(tmp_path)
+    key = unit_key(_unit())
+    path = tmp_path / f"{key}.json"
+    for bad in ["{not json", "", '{"engine": 0']:
+        path.write_text(bad)
+        assert cache.get(key) is None
+    assert cache.corrupt == 3
+    assert not path.exists()
+    assert (tmp_path / f"{key}.json.corrupt").exists()
+    # A truncated-but-valid-JSON non-payload (e.g. a bare list) also counts.
+    path.write_text("[1, 2]")
+    assert cache.get(key) is None
+    assert cache.corrupt == 4
+
+
+def test_cache_quarantine_does_not_block_rewrite(tmp_path):
+    """put() after a quarantine stores a fresh, loadable entry."""
+    cache = SweepCache(tmp_path)
+    key = unit_key(_unit())
+    (tmp_path / f"{key}.json").write_text("garbage")
+    assert cache.get(key) is None and cache.corrupt == 1
+    cache.put(key, {"ler": 0.25})
+    assert cache.get(key) == {"ler": 0.25}
+    assert cache.hits == 1
+
+
+def test_cache_stale_engine_is_plain_miss_not_corruption(tmp_path):
+    """Old-engine entries are valid files — a miss, never quarantined."""
+    cache = SweepCache(tmp_path)
+    key = unit_key(_unit())
+    path = tmp_path / f"{key}.json"
+    path.write_text(json.dumps({"engine": -1, "key": key, "row": {"ler": 0.5}}))
+    assert cache.get(key) is None
+    assert cache.misses == 1 and cache.corrupt == 0
+    assert path.exists()
 
 
 # --------------------------------------------------------------------- #
